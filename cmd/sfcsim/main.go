@@ -1,0 +1,140 @@
+// Command sfcsim runs one workload on one processor configuration and
+// prints detailed statistics: IPC, violation counts by kind, replay counts
+// by cause, forwarding and branch behaviour, and structure-level counters.
+//
+// Usage:
+//
+//	sfcsim [-config baseline|aggressive] [-mem mdtsfc|lsq] [-pred enf|not-enf|total|off]
+//	       [-lq N] [-sq N] [-insts N] [-list] <workload>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"sfcmdt/internal/pipeline"
+	"sfcmdt/sim"
+)
+
+func main() {
+	cfgName := flag.String("config", "aggressive", "processor: baseline or aggressive")
+	memSys := flag.String("mem", "mdtsfc", "memory subsystem: mdtsfc or lsq")
+	pred := flag.String("pred", "", "predictor mode: enf, not-enf, total, off (default: enf for baseline mdtsfc, total for aggressive mdtsfc, true-only for lsq)")
+	lq := flag.Int("lq", 0, "LSQ load-queue entries (lsq only; default per config)")
+	sq := flag.Int("sq", 0, "LSQ store-queue entries")
+	insts := flag.Uint64("insts", 200_000, "correct-path instructions to simulate")
+	list := flag.Bool("list", false, "list workloads and exit")
+	flag.Parse()
+
+	if *list {
+		tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "NAME\tCLASS\tPATHOLOGY")
+		for _, w := range sim.Workloads() {
+			fmt.Fprintf(tw, "%s\t%s\t%s\n", w.Name, w.Class, w.Pathology)
+		}
+		tw.Flush()
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sfcsim [flags] <workload>; -list shows workloads")
+		os.Exit(2)
+	}
+	w, ok := sim.Workload(flag.Arg(0))
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sfcsim: unknown workload %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+
+	variant := pickVariant(*memSys, *pred, *cfgName)
+	if *lq > 0 {
+		variant.LQ = *lq
+	}
+	if *sq > 0 {
+		variant.SQ = *sq
+	}
+	var cfg sim.Config
+	switch *cfgName {
+	case "baseline":
+		cfg = sim.Baseline(variant, *insts)
+	case "aggressive":
+		cfg = sim.Aggressive(variant, *insts)
+	default:
+		fmt.Fprintf(os.Stderr, "sfcsim: unknown config %q\n", *cfgName)
+		os.Exit(2)
+	}
+
+	p, err := pipeline.New(cfg, w.Build())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sfcsim: %v\n", err)
+		os.Exit(1)
+	}
+	s, err := p.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sfcsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload   %s (%s)\n", w.Name, w.Class)
+	fmt.Printf("pathology  %s\n", w.Pathology)
+	fmt.Printf("config     %s\n\n", cfg.Name)
+	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "cycles\t%d\n", s.Cycles)
+	fmt.Fprintf(tw, "retired\t%d (loads %d, stores %d)\n", s.Retired, s.RetiredLoads, s.RetiredStores)
+	fmt.Fprintf(tw, "IPC\t%.3f\n", s.IPC())
+	fmt.Fprintf(tw, "avg ROB occupancy\t%.1f (max %d)\n", s.AvgOccupancy(), s.MaxOccupancy)
+	fmt.Fprintf(tw, "branches\t%d cond, %.2f%% mispredicted, %d oracle-corrected\n",
+		s.CondBranches, 100*s.MispredictRate(), s.OracleCorrected)
+	fmt.Fprintf(tw, "flushes\t%d mispredict, %d violation\n", s.MispredictFlushes, s.ViolationFlushes)
+	fmt.Fprintf(tw, "violations\t%d true, %d anti, %d output (%.3f%% of mem ops)\n",
+		s.TrueViolations, s.AntiViolations, s.OutputViolations, 100*s.ViolationRate())
+	fmt.Fprintf(tw, "replays\t%d SFC-conflict, %d MDT-conflict, %d corruption, %d partial\n",
+		s.ReplaySFCConflict, s.ReplayMDTConflict, s.ReplayCorrupt, s.ReplayPartial)
+	fmt.Fprintf(tw, "forwarding\tSFC %d full + %d merged; LSQ %d full + %d merged\n",
+		s.SFCForwards, s.SFCPartialMerges, s.LSQForwards, s.LSQPartialMerges)
+	fmt.Fprintf(tw, "head bypasses\t%d loads, %d stores\n", s.HeadBypassLoads, s.HeadBypassStores)
+	fmt.Fprintf(tw, "caches\tL1I %d/%d, L1D %d/%d, L2 %d/%d (hits/misses)\n",
+		s.L1IHits, s.L1IMisses, s.L1DHits, s.L1DMisses, s.L2Hits, s.L2Misses)
+	if mdt, sfc := p.MDTSFC(); mdt != nil {
+		fmt.Fprintf(tw, "MDT\t%d accesses, %d conflicts, %d reclaimed, %d occupied\n",
+			mdt.Accesses, mdt.Conflicts, mdt.Reclaimed, mdt.Occupied)
+		fmt.Fprintf(tw, "SFC\t%d writes, %d conflicts, %d corrupt-marks, %d reclaimed\n",
+			sfc.StoreWrites, sfc.StoreConflicts, sfc.Corruptions, sfc.Reclaimed)
+	}
+	if lsq := p.LSQ(); lsq != nil {
+		fmt.Fprintf(tw, "LSQ\t%d load searches, %d store searches, %d silent-store squelches\n",
+			lsq.LoadSearches, lsq.StoreSearches, lsq.SilentSquelch)
+	}
+	tw.Flush()
+}
+
+func pickVariant(memSys, pred, cfgName string) sim.Variant {
+	switch memSys {
+	case "lsq":
+		if cfgName == "baseline" {
+			return sim.LSQ48x32
+		}
+		return sim.LSQ120x80
+	case "mdtsfc":
+		v := sim.MDTSFCEnf
+		if cfgName == "aggressive" {
+			v = sim.MDTSFCTotal
+		}
+		switch pred {
+		case "enf":
+			v.Pred = sim.PredPairwise
+		case "not-enf":
+			v.Pred = sim.PredTrueOnly
+		case "total":
+			v.Pred = sim.PredTotalOrder
+		case "off":
+			v.Pred = sim.PredOff
+		}
+		return v
+	default:
+		fmt.Fprintf(os.Stderr, "sfcsim: unknown memory subsystem %q\n", memSys)
+		os.Exit(2)
+		return sim.Variant{}
+	}
+}

@@ -1,0 +1,136 @@
+// Command sfctrace runs a workload (or an assembly file) on the pipeline
+// with the event trace enabled, printing memory-unit activity — loads,
+// stores, replays, violations, recoveries, retirements — as it happens.
+// It is the tool for watching the SFC/MDT mechanisms operate: forwarding
+// hits, set-conflict replays, corruption replays, and dependence-violation
+// flushes are all visible per event.
+//
+// Usage:
+//
+//	sfctrace [-config baseline|aggressive] [-mem mdtsfc|lsq] [-insts N]
+//	         [-from CYCLE] [-events N] [-addr HEXADDR] <workload | file.s>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sfcmdt/internal/pipeline"
+	"sfcmdt/internal/prog"
+	"sfcmdt/sim"
+)
+
+func main() {
+	cfgName := flag.String("config", "baseline", "processor: baseline or aggressive")
+	memSys := flag.String("mem", "mdtsfc", "memory subsystem: mdtsfc or lsq")
+	insts := flag.Uint64("insts", 5_000, "correct-path instructions to simulate")
+	from := flag.Uint64("from", 0, "suppress events before this cycle")
+	maxEvents := flag.Int("events", 200, "stop printing after this many events (0 = unlimited)")
+	addrFilter := flag.String("addr", "", "only print events touching this (hex) address")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sfctrace [flags] <workload | file.s>")
+		os.Exit(2)
+	}
+
+	img, err := loadTarget(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sfctrace: %v\n", err)
+		os.Exit(1)
+	}
+
+	variant := sim.MDTSFCEnf
+	if *memSys == "lsq" {
+		variant = sim.LSQ48x32
+	}
+	var cfg sim.Config
+	switch *cfgName {
+	case "baseline":
+		cfg = sim.Baseline(variant, *insts)
+	case "aggressive":
+		if *memSys == "lsq" {
+			variant = sim.LSQ120x80
+		} else {
+			variant = sim.MDTSFCTotal
+		}
+		cfg = sim.Aggressive(variant, *insts)
+	default:
+		fmt.Fprintf(os.Stderr, "sfctrace: unknown config %q\n", *cfgName)
+		os.Exit(2)
+	}
+
+	p, err := pipeline.New(cfg, img)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sfctrace: %v\n", err)
+		os.Exit(1)
+	}
+
+	var want string
+	if *addrFilter != "" {
+		a, err := strconv.ParseUint(strings.TrimPrefix(*addrFilter, "0x"), 16, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sfctrace: bad -addr: %v\n", err)
+			os.Exit(2)
+		}
+		want = fmt.Sprintf("addr=%#x", a)
+	}
+
+	printed := 0
+	done := false
+	p.SetDebug(func(format string, args ...any) {
+		if done {
+			return
+		}
+		line := fmt.Sprintf(format, args...)
+		if cyc := cycleOf(line); cyc < *from {
+			return
+		}
+		if want != "" && !strings.Contains(line, want) && !strings.Contains(line, "RECOVER") {
+			return
+		}
+		fmt.Println(line)
+		printed++
+		if *maxEvents > 0 && printed >= *maxEvents {
+			fmt.Printf("... (event limit reached; raise -events to see more)\n")
+			done = true
+		}
+	})
+
+	st, err := p.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sfctrace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n%s\n", st)
+}
+
+// cycleOf extracts the leading cycle stamp ("c<N> ...") from an event line.
+func cycleOf(line string) uint64 {
+	if !strings.HasPrefix(line, "c") {
+		return 0
+	}
+	end := strings.IndexByte(line, ' ')
+	if end < 0 {
+		return 0
+	}
+	n, err := strconv.ParseUint(line[1:end], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// loadTarget resolves the argument as a workload name or an assembly file.
+func loadTarget(arg string) (*prog.Image, error) {
+	if w, ok := sim.Workload(arg); ok {
+		return w.Build(), nil
+	}
+	src, err := os.ReadFile(arg)
+	if err != nil {
+		return nil, fmt.Errorf("%q is neither a workload nor a readable file (-list on sfcsim shows workloads)", arg)
+	}
+	return sim.Assemble(arg, string(src))
+}

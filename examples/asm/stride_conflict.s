@@ -1,0 +1,31 @@
+; stride_conflict.s — a hand-written demonstration of the bzip2 pathology:
+; stores to three arrays spaced exactly 4 KB apart (one aggressive-SFC
+; span), so every iteration's three stores land in the same 2-way SFC set
+; and one of them must replay.
+;
+;   go run ./cmd/sfcasm -run aggressive -insts 50000 examples/asm/stride_conflict.s
+;   go run ./cmd/sfctrace -config aggressive examples/asm/stride_conflict.s
+        .data
+a:      .space 4096             ; array A at +0
+b:      .space 4096             ; array B starts exactly 4096 bytes after A
+c:      .space 2048             ; array C another 4096 bytes later
+        .text
+        la   r1, a
+        la   r2, b
+        la   r10, c
+        li   r3, 100000         ; iterations
+        li   r4, 0              ; index
+loop:   andi r5, r4, 255
+        slli r5, r5, 3          ; aligned 8-byte offset inside each array
+        add  r6, r1, r5
+        add  r7, r2, r5
+        add  r11, r10, r5
+        sd   r4, 0(r6)          ; same SFC set...
+        sd   r3, 0(r7)          ; ...same set, second tag...
+        sd   r5, 0(r11)         ; ...third tag: exceeds 2-way associativity
+        ld   r8, 0(r6)          ; forwarded back out of the SFC
+        add  r9, r9, r8
+        addi r4, r4, 1
+        addi r3, r3, -1
+        bne  r3, r0, loop
+        halt

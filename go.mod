@@ -1,0 +1,3 @@
+module sfcmdt
+
+go 1.22

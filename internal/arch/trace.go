@@ -1,0 +1,72 @@
+package arch
+
+import (
+	"fmt"
+
+	"sfcmdt/internal/isa"
+	"sfcmdt/internal/prog"
+)
+
+// Record is the retirement record of one dynamic instruction: everything the
+// pipeline needs to validate retirement and to know the correct-path control
+// flow at fetch.
+type Record struct {
+	PC     uint64
+	Inst   isa.Inst
+	NextPC uint64
+
+	HasDest bool
+	Dest    isa.Reg
+	DestVal uint64
+
+	IsLoad   bool
+	IsStore  bool
+	Addr     uint64
+	MemSize  int
+	LoadVal  uint64
+	StoreVal uint64
+
+	IsBranch bool
+	Taken    bool
+
+	Halt bool
+}
+
+// Trace is the correct-path dynamic instruction stream of a program run.
+type Trace struct {
+	Recs   []Record
+	Halted bool // true if the program executed HALT within the budget
+}
+
+// Len returns the number of records.
+func (t *Trace) Len() int { return len(t.Recs) }
+
+// At returns record i.
+func (t *Trace) At(i int) *Record { return &t.Recs[i] }
+
+// RunTrace executes the program on the functional model for at most maxInsts
+// instructions and returns the trace. The pipeline simulates exactly this
+// dynamic instruction stream and validates its own retirement against it.
+func RunTrace(img *prog.Image, maxInsts uint64) (*Trace, error) {
+	m := New(img)
+	t := &Trace{Recs: make([]Record, 0, min64(maxInsts, 1<<20))}
+	for m.Count < maxInsts && !m.Halted {
+		rec, err := m.Step()
+		if err != nil {
+			return nil, fmt.Errorf("arch: %s: after %d insts: %w", img.Name, m.Count, err)
+		}
+		t.Recs = append(t.Recs, rec)
+	}
+	t.Halted = m.Halted
+	if len(t.Recs) == 0 {
+		return nil, fmt.Errorf("arch: %s: empty trace", img.Name)
+	}
+	return t, nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

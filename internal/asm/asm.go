@@ -1,0 +1,385 @@
+// Package asm implements a two-pass text assembler for the simulator's ISA,
+// plus a disassembler. The syntax is conventional:
+//
+//	        .data                 ; switch to the data segment
+//	buf:    .space 64             ; reserve 64 zero bytes
+//	tbl:    .word 1, 2, 0xff      ; 8-byte words
+//	        .text                 ; switch to the code segment
+//	start:  la   r1, buf          ; pseudo: load address (expands to movz/movk)
+//	        li   r2, 100          ; pseudo: load immediate
+//	loop:   ld   r3, 0(r1)
+//	        add  r4, r4, r3
+//	        addi r1, r1, 8
+//	        addi r2, r2, -1
+//	        bne  r2, r0, loop
+//	        halt
+//
+// Comments run from ';' or '#' to end of line. Registers are r0..r31.
+// Branch and jump targets are labels; load/store addresses are imm(reg).
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sfcmdt/internal/isa"
+	"sfcmdt/internal/prog"
+)
+
+// Error is an assembly error with a line number.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+type item struct {
+	line   int
+	label  string // label defined on this line, if any
+	op     string
+	args   []string
+	isData bool
+}
+
+// Assemble parses source text into a program image.
+func Assemble(name, src string) (*prog.Image, error) {
+	items, dataItems, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	b := prog.NewBuilder(name)
+
+	// Lay out the data segment first so labels have addresses.
+	dataLabels := make(map[string]uint64)
+	for _, it := range dataItems {
+		var addr uint64
+		switch it.op {
+		case ".space":
+			if len(it.args) != 1 {
+				return nil, &Error{it.line, ".space needs one size argument"}
+			}
+			n, err := parseInt(it.args[0])
+			if err != nil || n < 0 {
+				return nil, &Error{it.line, "bad .space size"}
+			}
+			addr = b.Alloc(int(n), 8)
+		case ".word":
+			vals := make([]uint64, len(it.args))
+			for i, a := range it.args {
+				v, err := parseInt(a)
+				if err != nil {
+					return nil, &Error{it.line, "bad .word value " + a}
+				}
+				vals[i] = uint64(v)
+			}
+			addr = b.Word64(vals...)
+		case "":
+			addr = b.Alloc(0, 8)
+		default:
+			return nil, &Error{it.line, "unknown data directive " + it.op}
+		}
+		if it.label != "" {
+			dataLabels[it.label] = addr
+		}
+	}
+
+	for _, it := range items {
+		if it.label != "" {
+			b.Label(it.label)
+		}
+		if it.op == "" {
+			continue
+		}
+		if err := emit(b, it, dataLabels); err != nil {
+			return nil, err
+		}
+	}
+	img, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	return img, nil
+}
+
+func parse(src string) (text, data []item, err error) {
+	inData := false
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		it := item{line: ln + 1}
+		if i := strings.Index(line, ":"); i >= 0 && !strings.ContainsAny(line[:i], " \t(") {
+			it.label = line[:i]
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line != "" {
+			fields := strings.Fields(line)
+			it.op = strings.ToLower(fields[0])
+			rest := strings.TrimSpace(line[len(fields[0]):])
+			if rest != "" {
+				for _, a := range strings.Split(rest, ",") {
+					it.args = append(it.args, strings.TrimSpace(a))
+				}
+			}
+		}
+		switch it.op {
+		case ".data":
+			inData = true
+			if it.label != "" {
+				return nil, nil, &Error{it.line, "label on .data directive"}
+			}
+			continue
+		case ".text":
+			inData = false
+			if it.label != "" {
+				return nil, nil, &Error{it.line, "label on .text directive"}
+			}
+			continue
+		}
+		it.isData = inData
+		if inData {
+			data = append(data, it)
+		} else {
+			text = append(text, it)
+		}
+	}
+	return text, data, nil
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return isa.Reg(n), nil
+}
+
+func parseInt(s string) (int64, error) {
+	return strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+}
+
+// parseMem parses "imm(reg)".
+func parseMem(s string) (int64, isa.Reg, error) {
+	open := strings.Index(s, "(")
+	close := strings.LastIndex(s, ")")
+	if open < 0 || close < open {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	off := int64(0)
+	if o := strings.TrimSpace(s[:open]); o != "" {
+		var err error
+		off, err = parseInt(o)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad offset in %q", s)
+		}
+	}
+	base, err := parseReg(s[open+1 : close])
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, base, nil
+}
+
+func emit(b *prog.Builder, it item, dataLabels map[string]uint64) error {
+	bad := func(msg string) error { return &Error{it.line, fmt.Sprintf("%s: %s", it.op, msg)} }
+	need := func(n int) error {
+		if len(it.args) != n {
+			return bad(fmt.Sprintf("want %d operands, got %d", n, len(it.args)))
+		}
+		return nil
+	}
+
+	// Pseudo-instructions first.
+	switch it.op {
+	case "li", "la":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(it.args[0])
+		if err != nil {
+			return bad(err.Error())
+		}
+		if addr, ok := dataLabels[it.args[1]]; ok {
+			b.La(rd, addr)
+			return nil
+		}
+		v, err := parseInt(it.args[1])
+		if err != nil {
+			return bad("bad immediate or unknown data label " + it.args[1])
+		}
+		b.Li(rd, uint64(v))
+		return nil
+	case "mov":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err1 := parseReg(it.args[0])
+		rs, err2 := parseReg(it.args[1])
+		if err1 != nil || err2 != nil {
+			return bad("bad register")
+		}
+		b.Mov(rd, rs)
+		return nil
+	case "j":
+		if err := need(1); err != nil {
+			return err
+		}
+		b.J(it.args[0])
+		return nil
+	case "call":
+		if err := need(1); err != nil {
+			return err
+		}
+		b.Call(it.args[0])
+		return nil
+	case "ret":
+		if err := need(0); err != nil {
+			return err
+		}
+		b.Ret()
+		return nil
+	}
+
+	op, ok := isa.OpByName(it.op)
+	if !ok {
+		return bad("unknown mnemonic")
+	}
+	switch op.Format() {
+	case isa.FmtNone:
+		if err := need(0); err != nil {
+			return err
+		}
+		b.Emit(isa.Inst{Op: op})
+	case isa.FmtR:
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, e1 := parseReg(it.args[0])
+		rs1, e2 := parseReg(it.args[1])
+		rs2, e3 := parseReg(it.args[2])
+		if e1 != nil || e2 != nil || e3 != nil {
+			return bad("bad register")
+		}
+		b.Emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+	case isa.FmtI:
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, e1 := parseReg(it.args[0])
+		rs1, e2 := parseReg(it.args[1])
+		imm, e3 := parseInt(it.args[2])
+		if e1 != nil || e2 != nil || e3 != nil {
+			return bad("bad operands")
+		}
+		if imm < -(1<<15) || imm >= 1<<15 {
+			return bad("immediate out of range")
+		}
+		b.Emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: int32(imm)})
+	case isa.FmtImmSh:
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, e1 := parseReg(it.args[0])
+		imm, e2 := parseInt(it.args[1])
+		sh, e3 := parseInt(it.args[2])
+		if e1 != nil || e2 != nil || e3 != nil {
+			return bad("bad operands")
+		}
+		if imm < 0 || imm > 0xFFFF || sh < 0 || sh > 3 {
+			return bad("immediate or shift out of range")
+		}
+		b.Emit(isa.Inst{Op: op, Rd: rd, Imm: int32(imm), Sh: uint8(sh)})
+	case isa.FmtLoad:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, e1 := parseReg(it.args[0])
+		off, base, e2 := parseMem(it.args[1])
+		if e1 != nil || e2 != nil {
+			return bad("bad operands")
+		}
+		if off < -(1<<15) || off >= 1<<15 {
+			return bad("offset out of range")
+		}
+		b.Emit(isa.Inst{Op: op, Rd: rd, Rs1: base, Imm: int32(off)})
+	case isa.FmtStore:
+		if err := need(2); err != nil {
+			return err
+		}
+		rs2, e1 := parseReg(it.args[0])
+		off, base, e2 := parseMem(it.args[1])
+		if e1 != nil || e2 != nil {
+			return bad("bad operands")
+		}
+		if off < -(1<<15) || off >= 1<<15 {
+			return bad("offset out of range")
+		}
+		b.Emit(isa.Inst{Op: op, Rs2: rs2, Rs1: base, Imm: int32(off)})
+	case isa.FmtBranch:
+		if err := need(3); err != nil {
+			return err
+		}
+		rs1, e1 := parseReg(it.args[0])
+		rs2, e2 := parseReg(it.args[1])
+		if e1 != nil || e2 != nil {
+			return bad("bad register")
+		}
+		switch op {
+		case isa.OpBeq:
+			b.Beq(rs1, rs2, it.args[2])
+		case isa.OpBne:
+			b.Bne(rs1, rs2, it.args[2])
+		case isa.OpBlt:
+			b.Blt(rs1, rs2, it.args[2])
+		case isa.OpBge:
+			b.Bge(rs1, rs2, it.args[2])
+		case isa.OpBltu:
+			b.Bltu(rs1, rs2, it.args[2])
+		case isa.OpBgeu:
+			b.Bgeu(rs1, rs2, it.args[2])
+		}
+	case isa.FmtJal:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, e1 := parseReg(it.args[0])
+		if e1 != nil {
+			return bad("bad register")
+		}
+		b.Jal(rd, it.args[1])
+	case isa.FmtJalr:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, e1 := parseReg(it.args[0])
+		off, base, e2 := parseMem(it.args[1])
+		if e1 != nil || e2 != nil {
+			return bad("bad operands")
+		}
+		b.Jalr(rd, off, base)
+	default:
+		return bad("unsupported format")
+	}
+	return nil
+}
+
+// Disassemble renders an image's code segment as text, one instruction per
+// line with addresses.
+func Disassemble(img *prog.Image) string {
+	var sb strings.Builder
+	for i, in := range img.Code {
+		fmt.Fprintf(&sb, "%#08x:  %08x  %s\n", img.CodeBase+uint64(i)*4, in.Encode(), in)
+	}
+	return sb.String()
+}

@@ -1,0 +1,125 @@
+// Package bpred implements the paper's front-end branch predictor: an
+// 8 Kbit gshare predictor whose mispredictions are partially corrected by an
+// oracle ("8Kbit Gshare + 80% mispredicts turned to correct predictions by
+// an oracle", Figure 4). The oracle filter is deterministic: whether a given
+// misprediction is corrected is a pure function of the dynamic instruction's
+// sequence number and the configured seed, so runs are reproducible.
+//
+// The global history register is updated speculatively at prediction time;
+// the pipeline checkpoints and restores it across flushes. The 2-bit
+// counters are updated non-speculatively at branch retirement.
+package bpred
+
+// Config describes the predictor.
+type Config struct {
+	Bits          int     // total predictor storage in bits (2 bits/counter)
+	HistoryLen    int     // global history length in bits
+	OracleFixFrac float64 // fraction of gshare mispredictions the oracle corrects
+	Seed          uint64
+}
+
+// DefaultConfig returns the paper's Figure 4 predictor: 8 Kbit gshare with an
+// 80% oracle correction rate.
+func DefaultConfig() Config {
+	return Config{Bits: 8 << 10, HistoryLen: 12, OracleFixFrac: 0.80, Seed: 0x5fc_4d7}
+}
+
+// Gshare is the 2-bit-counter gshare predictor.
+type Gshare struct {
+	cfg      Config
+	counters []uint8
+	mask     uint32
+	hist     uint32 // speculative global history
+
+	// Statistics (correct-path conditional branches only; maintained by
+	// the pipeline via Update/oracle calls).
+	Lookups          uint64
+	GshareWrong      uint64
+	OracleCorrected  uint64
+	FinalMispredicts uint64
+}
+
+// New builds the predictor.
+func New(cfg Config) *Gshare {
+	n := cfg.Bits / 2
+	if n <= 0 {
+		n = 1
+	}
+	// round down to a power of two
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	g := &Gshare{cfg: cfg, counters: make([]uint8, p), mask: uint32(p - 1)}
+	for i := range g.counters {
+		g.counters[i] = 1 // weakly not-taken
+	}
+	return g
+}
+
+func (g *Gshare) index(pc uint64) uint32 {
+	return (uint32(pc>>2) ^ g.hist) & g.mask
+}
+
+// Predict returns the gshare direction prediction for the branch at pc. It
+// does not update any state; call Speculate to shift the predicted direction
+// into the history.
+func (g *Gshare) Predict(pc uint64) bool {
+	return g.counters[g.index(pc)] >= 2
+}
+
+// Speculate shifts a predicted direction into the speculative global
+// history and returns the history value *after* the shift, which the
+// pipeline stores in the instruction's checkpoint.
+func (g *Gshare) Speculate(taken bool) uint32 {
+	g.hist = g.hist << 1 & (1<<uint(g.cfg.HistoryLen) - 1)
+	if taken {
+		g.hist |= 1
+	}
+	return g.hist
+}
+
+// History returns the current speculative history.
+func (g *Gshare) History() uint32 { return g.hist }
+
+// Restore rewinds the speculative history to a checkpointed value after a
+// pipeline flush.
+func (g *Gshare) Restore(hist uint32) { g.hist = hist }
+
+// Update trains the 2-bit counter for a retiring correct-path branch. The
+// index is recomputed with the history the branch saw at prediction time.
+func (g *Gshare) Update(pc uint64, histBefore uint32, taken bool) {
+	idx := (uint32(pc>>2) ^ histBefore) & g.mask
+	c := g.counters[idx]
+	if taken {
+		if c < 3 {
+			c++
+		}
+	} else if c > 0 {
+		c--
+	}
+	g.counters[idx] = c
+}
+
+// OracleFixes reports whether the oracle corrects the misprediction of the
+// dynamic branch with the given sequence number. Deterministic in (seq,
+// seed): a splitmix64-style hash is compared against the configured
+// fraction.
+func (g *Gshare) OracleFixes(seq uint64) bool {
+	if g.cfg.OracleFixFrac >= 1 {
+		return true
+	}
+	if g.cfg.OracleFixFrac <= 0 {
+		return false
+	}
+	h := mix64(seq + g.cfg.Seed)
+	// Compare the top 53 bits against the fraction.
+	return float64(h>>11)/float64(1<<53) < g.cfg.OracleFixFrac
+}
+
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	return z ^ z>>31
+}

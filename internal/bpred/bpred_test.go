@@ -1,0 +1,110 @@
+package bpred
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCounterTraining(t *testing.T) {
+	g := New(Config{Bits: 1 << 10, HistoryLen: 8, OracleFixFrac: 0})
+	pc := uint64(0x1000)
+	// Counters start weakly not-taken.
+	if g.Predict(pc) {
+		t.Fatal("initial prediction should be not-taken")
+	}
+	hist := g.History()
+	g.Update(pc, hist, true)
+	g.Update(pc, hist, true)
+	if !g.Predict(pc) {
+		t.Fatal("two taken updates should flip the prediction")
+	}
+	// Saturation: many more taken updates, then two not-taken flips back.
+	for i := 0; i < 10; i++ {
+		g.Update(pc, hist, true)
+	}
+	g.Update(pc, hist, false)
+	if !g.Predict(pc) {
+		t.Fatal("saturated counter should survive one not-taken")
+	}
+	g.Update(pc, hist, false)
+	g.Update(pc, hist, false)
+	if g.Predict(pc) {
+		t.Fatal("three not-taken updates should flip back")
+	}
+}
+
+func TestHistorySpeculationAndRestore(t *testing.T) {
+	g := New(DefaultConfig())
+	h0 := g.History()
+	g.Speculate(true)
+	g.Speculate(false)
+	g.Speculate(true)
+	if g.History() == h0 {
+		t.Fatal("history did not change")
+	}
+	if g.History()&7 != 0b101 {
+		t.Fatalf("history low bits %b, want 101", g.History()&7)
+	}
+	g.Restore(h0)
+	if g.History() != h0 {
+		t.Fatal("restore failed")
+	}
+}
+
+func TestHistoryLearnsPattern(t *testing.T) {
+	// A strict alternation is unlearnable by counters alone but trivial
+	// with history: after warmup the predictor should be near-perfect.
+	g := New(Config{Bits: 8 << 10, HistoryLen: 12, OracleFixFrac: 0})
+	pc := uint64(0x4242)
+	taken := false
+	wrong := 0
+	for i := 0; i < 4000; i++ {
+		hist := g.History()
+		pred := g.Predict(pc)
+		g.Speculate(taken) // speculative history uses the true outcome here
+		g.Update(pc, hist, taken)
+		if i > 2000 && pred != taken {
+			wrong++
+		}
+		taken = !taken
+	}
+	if wrong > 20 {
+		t.Errorf("alternating branch mispredicted %d times after warmup", wrong)
+	}
+}
+
+func TestOracleDeterminismAndFraction(t *testing.T) {
+	g := New(Config{Bits: 1 << 10, HistoryLen: 8, OracleFixFrac: 0.8, Seed: 99})
+	g2 := New(Config{Bits: 1 << 10, HistoryLen: 8, OracleFixFrac: 0.8, Seed: 99})
+	fixed := 0
+	const n = 100000
+	for i := uint64(0); i < n; i++ {
+		a, b := g.OracleFixes(i), g2.OracleFixes(i)
+		if a != b {
+			t.Fatal("oracle is not deterministic")
+		}
+		if a {
+			fixed++
+		}
+	}
+	frac := float64(fixed) / n
+	if math.Abs(frac-0.8) > 0.01 {
+		t.Errorf("oracle fixed %.3f of mispredicts, want ~0.80", frac)
+	}
+	always := New(Config{Bits: 1 << 10, HistoryLen: 8, OracleFixFrac: 1})
+	never := New(Config{Bits: 1 << 10, HistoryLen: 8, OracleFixFrac: 0})
+	if !always.OracleFixes(123) || never.OracleFixes(123) {
+		t.Error("oracle extremes wrong")
+	}
+}
+
+func TestCounterSizing(t *testing.T) {
+	g := New(Config{Bits: 8 << 10, HistoryLen: 12})
+	if len(g.counters) != 4096 {
+		t.Errorf("8Kbit predictor should have 4096 2-bit counters, got %d", len(g.counters))
+	}
+	g = New(Config{Bits: 3000, HistoryLen: 8})
+	if len(g.counters) != 1024 {
+		t.Errorf("non-power-of-two bits should round down, got %d", len(g.counters))
+	}
+}

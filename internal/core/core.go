@@ -1,0 +1,72 @@
+// Package core implements the paper's contribution and its baseline:
+//
+//   - the store forwarding cache (SFC), an address-indexed replacement for
+//     the store queue's associative forwarding logic (sfc.go);
+//   - the memory disambiguation table (MDT), an address-indexed replacement
+//     for the load queue's associative search (mdt.go);
+//   - the store FIFO that buffers stores for in-order retirement
+//     (storefifo.go);
+//   - the producer-set memory dependence predictor that enforces predicted
+//     true, anti, and output dependences (predictor.go);
+//   - the idealized load/store queue (LSQ) baseline with age-prioritized,
+//     silent-store-aware associative searches (lsq.go).
+//
+// All structures are driven by the cycle-level pipeline in
+// sfcmdt/internal/pipeline, but are independently testable.
+package core
+
+import "sfcmdt/internal/seqnum"
+
+// ViolationKind classifies a memory-dependence violation.
+type ViolationKind uint8
+
+const (
+	// NoViolation means the access was clean.
+	NoViolation ViolationKind = iota
+	// TrueViolation: a store completed after a later load to the same
+	// address had already obtained its (now stale) value.
+	TrueViolation
+	// AntiViolation: a load issued after a later store to the same
+	// address had already completed, so the load may have read the later
+	// store's value.
+	AntiViolation
+	// OutputViolation: a store completed after a later store to the same
+	// address, overwriting the later store's value in the SFC.
+	OutputViolation
+)
+
+func (k ViolationKind) String() string {
+	switch k {
+	case NoViolation:
+		return "none"
+	case TrueViolation:
+		return "true"
+	case AntiViolation:
+		return "anti"
+	case OutputViolation:
+		return "output"
+	}
+	return "unknown"
+}
+
+// Violation describes a detected memory-dependence violation, carrying
+// everything the pipeline needs for recovery and everything the dependence
+// predictor needs to insert a producer→consumer arc.
+type Violation struct {
+	Kind ViolationKind
+
+	// Producer is the earlier instruction in program order; Consumer the
+	// later one (the paper's producer/consumer roles for the predictor).
+	ProducerPC  uint64
+	ProducerSeq seqnum.Seq
+	ConsumerPC  uint64
+	ConsumerSeq seqnum.Seq
+
+	// FlushFromSeq is the first dynamic instruction that must be flushed:
+	// everything with sequence number >= FlushFromSeq is squashed and
+	// refetched. For true and output violations this is the instruction
+	// after the completing store; for anti violations it is the issuing
+	// load itself. The §2.4.1 single-load optimization moves the flush
+	// point of a true violation forward to the conflicting load.
+	FlushFromSeq seqnum.Seq
+}

@@ -1,0 +1,72 @@
+package core
+
+import "testing"
+
+// The flush-endpoint mechanism (§3.2 alternative) must block forwarding
+// from canceled stores while letting unrelated forwarding proceed.
+func TestFlushEndpointsPrecision(t *testing.T) {
+	s := NewSFC(SFCConfig{Sets: 16, Ways: 2, FlushEndpoints: 4})
+	s.StoreWrite(5, 0x40, 8, 0xAAAA)  // survives the flush
+	s.StoreWrite(20, 0x80, 8, 0xBBBB) // canceled by the flush below
+	s.RecordPartialFlush(10, 30)
+
+	if res := s.LoadRead(0x40, 8); res.Status != SFCFull {
+		t.Fatalf("surviving store must still forward: %v", res.Status)
+	}
+	if res := s.LoadRead(0x80, 8); res.Status != SFCCorrupt {
+		t.Fatalf("canceled store must not forward: %v", res.Status)
+	}
+	// A fresh store to the canceled word supersedes the stale bytes.
+	s.StoreWrite(35, 0x80, 8, 0xCCCC)
+	if res := s.LoadRead(0x80, 8); res.Status != SFCFull {
+		t.Fatalf("rewritten word must forward again: %v", res.Status)
+	}
+}
+
+// Per-byte precision: only bytes written by canceled stores are blocked.
+func TestFlushEndpointsPerByte(t *testing.T) {
+	s := NewSFC(SFCConfig{Sets: 16, Ways: 2, FlushEndpoints: 4})
+	s.StoreWrite(5, 0x40, 4, 0x11111111)  // low word, survives
+	s.StoreWrite(20, 0x44, 4, 0x22222222) // high word, canceled
+	s.RecordPartialFlush(15, 25)
+	if res := s.LoadRead(0x40, 4); res.Status != SFCFull {
+		t.Fatalf("clean bytes blocked: %v", res.Status)
+	}
+	if res := s.LoadRead(0x44, 4); res.Status != SFCCorrupt {
+		t.Fatalf("canceled bytes allowed: %v", res.Status)
+	}
+	if res := s.LoadRead(0x40, 8); res.Status != SFCCorrupt {
+		t.Fatalf("spanning load must be blocked: %v", res.Status)
+	}
+}
+
+// When the window ring overflows, the oldest window is retired by a precise
+// corruption sweep: soundness is preserved, precision degrades gracefully.
+func TestFlushEndpointsOverflowSweep(t *testing.T) {
+	s := NewSFC(SFCConfig{Sets: 16, Ways: 2, FlushEndpoints: 1})
+	s.StoreWrite(20, 0x80, 8, 0xBBBB)
+	s.RecordPartialFlush(10, 30) // window 1 covers the store
+	s.RecordPartialFlush(50, 60) // ring size 1: window 1 swept into corrupt bits
+	if s.WindowsMerged != 1 {
+		t.Fatalf("merged %d windows", s.WindowsMerged)
+	}
+	if res := s.LoadRead(0x80, 8); res.Status != SFCCorrupt {
+		t.Fatalf("swept bytes must be corrupt: %v", res.Status)
+	}
+	// A full flush clears the windows.
+	s.Flush()
+	s.StoreWrite(100, 0x80, 8, 0xDD)
+	if res := s.LoadRead(0x80, 8); res.Status != SFCFull {
+		t.Fatalf("windows must not survive a full flush: %v", res.Status)
+	}
+}
+
+// With FlushEndpoints == 0 the classic blanket corruption applies.
+func TestFlushEndpointsDisabled(t *testing.T) {
+	s := NewSFC(SFCConfig{Sets: 16, Ways: 2})
+	s.StoreWrite(5, 0x40, 8, 0xAAAA) // would survive the flush
+	s.RecordPartialFlush(10, 30)
+	if res := s.LoadRead(0x40, 8); res.Status != SFCCorrupt {
+		t.Fatalf("blanket corruption must mark surviving bytes too: %v", res.Status)
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sfcmdt/internal/seqnum"
+)
+
+// memFromMap adapts a byte map to a MemReader.
+func memFromMap(m map[uint64]byte) MemReader {
+	return func(addr uint64) byte { return m[addr] }
+}
+
+func TestLSQDispatchCapacity(t *testing.T) {
+	q := NewLSQ(LSQConfig{LoadEntries: 2, StoreEntries: 1})
+	if !q.DispatchLoad(1, 0) || !q.DispatchLoad(2, 0) {
+		t.Fatal("loads rejected below capacity")
+	}
+	if q.DispatchLoad(3, 0) {
+		t.Fatal("load accepted beyond capacity")
+	}
+	if !q.DispatchStore(4, 0) || q.DispatchStore(5, 0) {
+		t.Fatal("store capacity wrong")
+	}
+	if q.DispatchStalls != 2 {
+		t.Errorf("stalls %d", q.DispatchStalls)
+	}
+}
+
+func TestLSQForwardFullAndPartial(t *testing.T) {
+	mem := map[uint64]byte{}
+	for i := uint64(0); i < 16; i++ {
+		mem[0x100+i] = byte(0xF0 + i)
+	}
+	q := NewLSQ(LSQConfig{LoadEntries: 8, StoreEntries: 8})
+	q.DispatchStore(1, 0x10)
+	q.DispatchLoad(2, 0x20)
+	q.DispatchLoad(3, 0x30)
+	if _, err := q.ExecuteStore(1, 0x100, 4, 0xAABBCCDD, memFromMap(mem)); err != nil {
+		t.Fatal(err)
+	}
+	// Fully contained load: forwarded.
+	res, err := q.ExecuteLoad(2, 0x102, 2, memFromMap(mem))
+	if err != nil || !res.Forwarded || res.Value != 0xAABB {
+		t.Fatalf("full forward: %+v err=%v", res, err)
+	}
+	// Wider load: merge of store bytes and memory bytes.
+	res, err = q.ExecuteLoad(3, 0x100, 8, memFromMap(mem))
+	if err != nil || res.Forwarded || !res.Partial {
+		t.Fatalf("partial: %+v err=%v", res, err)
+	}
+	want := uint64(0xF7F6F5F4_AABBCCDD)
+	if res.Value != want {
+		t.Fatalf("merged value %#x, want %#x", res.Value, want)
+	}
+}
+
+func TestLSQAgePriority(t *testing.T) {
+	mem := map[uint64]byte{}
+	q := NewLSQ(LSQConfig{LoadEntries: 8, StoreEntries: 8})
+	q.DispatchStore(1, 0)
+	q.DispatchStore(2, 0)
+	q.DispatchLoad(3, 0)
+	q.ExecuteStore(1, 0x100, 8, 0x1111, memFromMap(mem))
+	q.ExecuteStore(2, 0x100, 8, 0x2222, memFromMap(mem))
+	res, _ := q.ExecuteLoad(3, 0x100, 8, memFromMap(mem))
+	if res.Value != 0x2222 {
+		t.Fatalf("youngest older store must win: got %#x", res.Value)
+	}
+	// A load between the two stores sees only the first.
+	q2 := NewLSQ(LSQConfig{LoadEntries: 8, StoreEntries: 8})
+	q2.DispatchStore(1, 0)
+	q2.DispatchLoad(2, 0)
+	q2.DispatchStore(3, 0)
+	q2.ExecuteStore(1, 0x100, 8, 0x1111, memFromMap(mem))
+	q2.ExecuteStore(3, 0x100, 8, 0x3333, memFromMap(mem))
+	res, _ = q2.ExecuteLoad(2, 0x100, 8, memFromMap(mem))
+	if res.Value != 0x1111 {
+		t.Fatalf("load must ignore younger stores: got %#x", res.Value)
+	}
+}
+
+func TestLSQTrueViolationAndSilentStore(t *testing.T) {
+	mem := map[uint64]byte{}
+	q := NewLSQ(LSQConfig{LoadEntries: 8, StoreEntries: 8})
+	q.DispatchStore(1, 0xA0)
+	q.DispatchLoad(2, 0xB0)
+	// The load executes before the older store: reads memory zeros.
+	res, _ := q.ExecuteLoad(2, 0x100, 8, memFromMap(mem))
+	if res.Value != 0 {
+		t.Fatal("load should read stale zeros")
+	}
+	// The store completes with a different value: violation at the load.
+	v, err := q.ExecuteStore(1, 0x100, 8, 0xDEAD, memFromMap(mem))
+	if err != nil || v == nil {
+		t.Fatalf("violation missed: %+v err=%v", v, err)
+	}
+	if v.Kind != TrueViolation || v.FlushFromSeq != 2 || v.ProducerPC != 0xA0 || v.ConsumerPC != 0xB0 {
+		t.Fatalf("violation fields: %+v", v)
+	}
+
+	// Silent store: the store writes the value the load already read.
+	q2 := NewLSQ(LSQConfig{LoadEntries: 8, StoreEntries: 8})
+	q2.DispatchStore(1, 0xA0)
+	q2.DispatchLoad(2, 0xB0)
+	q2.ExecuteLoad(2, 0x100, 8, memFromMap(mem)) // reads 0
+	v, _ = q2.ExecuteStore(1, 0x100, 8, 0, memFromMap(mem))
+	if v != nil {
+		t.Fatal("silent store must not be flagged")
+	}
+	if q2.SilentSquelch != 1 {
+		t.Errorf("squelch count %d", q2.SilentSquelch)
+	}
+}
+
+func TestLSQEarliestConflictingLoad(t *testing.T) {
+	mem := map[uint64]byte{}
+	q := NewLSQ(LSQConfig{LoadEntries: 8, StoreEntries: 8})
+	q.DispatchStore(1, 0xA0)
+	q.DispatchLoad(2, 0xB0)
+	q.DispatchLoad(3, 0xC0)
+	q.ExecuteLoad(3, 0x100, 8, memFromMap(mem))
+	q.ExecuteLoad(2, 0x100, 8, memFromMap(mem))
+	v, _ := q.ExecuteStore(1, 0x100, 8, 7, memFromMap(mem))
+	if v == nil || v.ConsumerSeq != 2 {
+		t.Fatalf("flush must start at the EARLIEST conflicting load: %+v", v)
+	}
+}
+
+func TestLSQSquashAndRetire(t *testing.T) {
+	mem := map[uint64]byte{}
+	q := NewLSQ(LSQConfig{LoadEntries: 8, StoreEntries: 8})
+	q.DispatchLoad(1, 0)
+	q.DispatchStore(2, 0)
+	q.DispatchLoad(3, 0)
+	q.DispatchStore(4, 0)
+	q.SquashFrom(3)
+	if q.Loads() != 1 || q.Stores() != 1 {
+		t.Fatalf("squash left %d loads, %d stores", q.Loads(), q.Stores())
+	}
+	q.ExecuteLoad(1, 0x100, 8, memFromMap(mem))
+	q.ExecuteStore(2, 0x108, 8, 5, memFromMap(mem))
+	if err := q.RetireLoad(1); err != nil {
+		t.Fatal(err)
+	}
+	addr, size, val, err := q.RetireStore(2)
+	if err != nil || addr != 0x108 || size != 8 || val != 5 {
+		t.Fatalf("retire store: %#x %d %#x %v", addr, size, val, err)
+	}
+	// Retiring out of order is an error.
+	q.DispatchLoad(5, 0)
+	q.DispatchLoad(6, 0)
+	if err := q.RetireLoad(6); err == nil {
+		t.Fatal("out-of-order retire must fail")
+	}
+}
+
+// TestLSQGatherVsReference checks byte-accurate forwarding against a
+// reference memory overlay across random subword store/load traffic.
+func TestLSQGatherVsReference(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	mem := map[uint64]byte{}
+	for i := uint64(0); i < 64; i++ {
+		mem[0x200+i] = byte(r.Intn(256))
+	}
+	q := NewLSQ(LSQConfig{LoadEntries: 4096, StoreEntries: 4096})
+	ref := map[uint64]byte{}
+	for k, v := range mem {
+		ref[k] = v
+	}
+	var seq seqnum.Seq
+	for i := 0; i < 4000; i++ {
+		seq++
+		size := []int{1, 2, 4, 8}[r.Intn(4)]
+		addr := 0x200 + uint64(r.Intn(64/size)*size)
+		if r.Intn(2) == 0 {
+			val := r.Uint64()
+			q.DispatchStore(seq, 0)
+			if _, err := q.ExecuteStore(seq, addr, size, val, memFromMap(mem)); err != nil {
+				t.Fatal(err)
+			}
+			for b := 0; b < size; b++ {
+				ref[addr+uint64(b)] = byte(val >> (8 * b))
+			}
+		} else {
+			q.DispatchLoad(seq, 0)
+			res, err := q.ExecuteLoad(seq, addr, size, memFromMap(mem))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want uint64
+			for b := 0; b < size; b++ {
+				want |= uint64(ref[addr+uint64(b)]) << (8 * b)
+			}
+			if res.Value != want {
+				t.Fatalf("op %d: load [%#x,%d] = %#x, want %#x", i, addr, size, res.Value, want)
+			}
+		}
+	}
+}

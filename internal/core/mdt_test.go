@@ -1,0 +1,324 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sfcmdt/internal/seqnum"
+)
+
+func newTestMDT(sets, ways, gran int, tagged bool) *MDT {
+	return NewMDT(MDTConfig{Sets: sets, Ways: ways, GranBytes: gran, Tagged: tagged})
+}
+
+func TestMDTConfigValidate(t *testing.T) {
+	if err := (MDTConfig{Sets: 4096, Ways: 2, GranBytes: 8, Tagged: true}).Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := []MDTConfig{
+		{Sets: 3, Ways: 2, GranBytes: 8},
+		{Sets: 4, Ways: 0, GranBytes: 8},
+		{Sets: 4, Ways: 2, GranBytes: 3},
+		{Sets: 4, Ways: 2, GranBytes: 0},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("accepted bad config %+v", c)
+		}
+	}
+}
+
+func TestMDTTrueViolation(t *testing.T) {
+	m := newTestMDT(16, 2, 8, true)
+	// A younger load executes first...
+	if r := m.AccessLoad(10, 0x100, 0x40, 8); r.Conflict || r.Violation != nil {
+		t.Fatalf("clean load flagged: %+v", r)
+	}
+	// ...then an older store to the same address completes: true violation.
+	r := m.AccessStore(5, 0x200, 0x40, 8)
+	if r.Violation == nil || r.Violation.Kind != TrueViolation {
+		t.Fatalf("want true violation, got %+v", r)
+	}
+	v := r.Violation
+	if v.ProducerPC != 0x200 || v.ConsumerPC != 0x100 || v.FlushFromSeq != 6 {
+		t.Errorf("violation fields: %+v", v)
+	}
+}
+
+func TestMDTAntiViolation(t *testing.T) {
+	m := newTestMDT(16, 2, 8, true)
+	// A younger store completes first...
+	if r := m.AccessStore(10, 0x200, 0x40, 8); r.Violation != nil {
+		t.Fatal("clean store flagged")
+	}
+	// ...then an older load issues: anti violation; the load itself flushes.
+	r := m.AccessLoad(5, 0x100, 0x40, 8)
+	if r.Violation == nil || r.Violation.Kind != AntiViolation {
+		t.Fatalf("want anti violation, got %+v", r)
+	}
+	if r.Violation.FlushFromSeq != 5 {
+		t.Errorf("anti flush point %d, want 5 (the load)", r.Violation.FlushFromSeq)
+	}
+}
+
+func TestMDTOutputViolation(t *testing.T) {
+	m := newTestMDT(16, 2, 8, true)
+	m.AccessStore(10, 0x200, 0x40, 8)
+	r := m.AccessStore(5, 0x300, 0x40, 8)
+	if r.Violation == nil || r.Violation.Kind != OutputViolation {
+		t.Fatalf("want output violation, got %+v", r)
+	}
+	if r.Violation.FlushFromSeq != 6 {
+		t.Errorf("output flush point %d, want 6", r.Violation.FlushFromSeq)
+	}
+}
+
+func TestMDTReplaySameSeqBenign(t *testing.T) {
+	m := newTestMDT(16, 2, 8, true)
+	// A dropped instruction re-accesses the MDT with the same sequence
+	// number; this must never self-flag.
+	m.AccessStore(7, 0x100, 0x40, 8)
+	if r := m.AccessStore(7, 0x100, 0x40, 8); r.Violation != nil {
+		t.Fatal("replayed store self-flagged an output violation")
+	}
+	m.AccessLoad(9, 0x104, 0x48, 8)
+	if r := m.AccessLoad(9, 0x104, 0x48, 8); r.Violation != nil {
+		t.Fatal("replayed load self-flagged")
+	}
+}
+
+func TestMDTSetConflictAndRetireFree(t *testing.T) {
+	m := newTestMDT(1, 2, 8, true)
+	m.AccessLoad(1, 0x0, 0x00, 8)
+	m.AccessLoad(2, 0x4, 0x08, 8)
+	if r := m.AccessLoad(3, 0x8, 0x10, 8); !r.Conflict {
+		t.Fatal("third granule in a 2-way set must conflict")
+	}
+	// Retiring the latest load to a granule frees its entry.
+	if !m.RetireLoad(1, 0x00, 8) {
+		t.Fatal("retire should free the entry")
+	}
+	if r := m.AccessLoad(3, 0x8, 0x10, 8); r.Conflict {
+		t.Fatal("freed way should be allocatable")
+	}
+}
+
+func TestMDTRetireOnlyLatest(t *testing.T) {
+	m := newTestMDT(16, 2, 8, true)
+	m.AccessLoad(3, 0x1, 0x40, 8)
+	m.AccessLoad(9, 0x2, 0x40, 8) // later load to the same granule
+	if m.RetireLoad(3, 0x40, 8) {
+		t.Fatal("retiring a superseded load must not free the entry")
+	}
+	if !m.RetireLoad(9, 0x40, 8) {
+		t.Fatal("retiring the latest load must free the entry")
+	}
+}
+
+func TestMDTStoreAndLoadShareEntry(t *testing.T) {
+	m := newTestMDT(16, 2, 8, true)
+	m.AccessLoad(3, 0x1, 0x40, 8)
+	m.AccessStore(4, 0x2, 0x40, 8)
+	// Entry stays until BOTH sequence numbers are invalidated.
+	if m.RetireLoad(3, 0x40, 8) {
+		t.Fatal("entry must survive while the store is in flight")
+	}
+	if !m.RetireStore(4, 0x40, 8) {
+		t.Fatal("entry must free when both halves retire")
+	}
+	if m.Occupied != 0 {
+		t.Errorf("occupancy %d", m.Occupied)
+	}
+}
+
+func TestMDTGranularitySpanning(t *testing.T) {
+	// 2-byte granularity: an 8-byte access covers 4 granules.
+	m := newTestMDT(64, 2, 2, true)
+	m.AccessLoad(5, 0x1, 0x40, 8)
+	// A store overlapping only the last 2 bytes still collides.
+	r := m.AccessStore(3, 0x2, 0x46, 2)
+	if r.Violation == nil || r.Violation.Kind != TrueViolation {
+		t.Fatalf("spanning violation missed: %+v", r)
+	}
+	// A store to the neighbouring granule does not.
+	if r := m.AccessStore(4, 0x2, 0x48, 2); r.Violation != nil {
+		t.Fatal("false violation on adjacent granule")
+	}
+}
+
+func TestMDTCoarseGranularityAliases(t *testing.T) {
+	// 64-byte granularity: distinct addresses in one granule alias, so a
+	// spurious violation is detected (the paper's granularity trade-off).
+	m := newTestMDT(16, 2, 64, true)
+	m.AccessLoad(9, 0x1, 0x40, 8)
+	r := m.AccessStore(5, 0x2, 0x78, 8) // different address, same granule
+	if r.Violation == nil {
+		t.Fatal("coarse granule should alias and flag a (spurious) violation")
+	}
+}
+
+func TestMDTUntaggedAliases(t *testing.T) {
+	m := newTestMDT(4, 1, 8, false)
+	// Addresses 0x00 and 0x100 map to set 0; untagged entries shared.
+	m.AccessLoad(9, 0x1, 0x00, 8)
+	r := m.AccessStore(5, 0x2, 0x100, 8)
+	if r.Violation == nil || r.Violation.Kind != TrueViolation {
+		t.Fatal("untagged MDT must alias across addresses")
+	}
+	// And it never reports set conflicts.
+	for i := 0; i < 20; i++ {
+		if r := m.AccessLoad(seqnum.Seq(100+i), 0x3, uint64(i)*32, 8); r.Conflict {
+			t.Fatal("untagged MDT reported a conflict")
+		}
+	}
+}
+
+func TestMDTSingleLoadOpt(t *testing.T) {
+	m := newTestMDT(16, 2, 8, true)
+	m.SingleLoadOpt = true
+	m.AccessLoad(9, 0x1, 0x40, 8)
+	r := m.AccessStore(5, 0x2, 0x40, 8)
+	if r.Violation == nil || r.Violation.FlushFromSeq != 9 {
+		t.Fatalf("single-load opt should flush from the load: %+v", r.Violation)
+	}
+	// With two completed loads buffered the optimization must not fire.
+	m2 := newTestMDT(16, 2, 8, true)
+	m2.SingleLoadOpt = true
+	m2.AccessLoad(8, 0x1, 0x40, 8)
+	m2.AccessLoad(9, 0x1, 0x40, 8)
+	r = m2.AccessStore(5, 0x2, 0x40, 8)
+	if r.Violation == nil || r.Violation.FlushFromSeq != 6 {
+		t.Fatalf("opt fired with 2 loads buffered: %+v", r.Violation)
+	}
+	// LoadDropped deducts the counter.
+	m3 := newTestMDT(16, 2, 8, true)
+	m3.SingleLoadOpt = true
+	m3.AccessLoad(8, 0x1, 0x40, 8)
+	m3.AccessLoad(9, 0x1, 0x40, 8)
+	m3.LoadDropped(9, 0x40, 8)
+	r = m3.AccessStore(5, 0x2, 0x40, 8)
+	if r.Violation == nil || r.Violation.FlushFromSeq != 9 {
+		t.Fatalf("opt should fire after LoadDropped: %+v", r.Violation)
+	}
+}
+
+func TestMDTCheckStoreAtHead(t *testing.T) {
+	m := newTestMDT(16, 2, 8, true)
+	m.AccessLoad(9, 0x1, 0x40, 8)
+	if v := m.CheckStoreAtHead(5, 0x2, 0x40, 8); v == nil || v.Kind != TrueViolation {
+		t.Fatal("head-bypass store must detect the early load")
+	}
+	// Read-only: no entry allocated for an unseen address.
+	occ := m.Occupied
+	if v := m.CheckStoreAtHead(6, 0x2, 0x80, 8); v != nil {
+		t.Fatal("false positive")
+	}
+	if m.Occupied != occ {
+		t.Fatal("CheckStoreAtHead must not allocate")
+	}
+}
+
+func TestMDTReclamation(t *testing.T) {
+	m := newTestMDT(1, 1, 8, true)
+	m.AccessLoad(5, 0x1, 0x00, 8)
+	m.SetBound(3) // load still in flight
+	if r := m.AccessLoad(7, 0x2, 0x40, 8); !r.Conflict {
+		t.Fatal("live entry must not be reclaimed")
+	}
+	m.SetBound(6) // load retired or squashed: entry is a fossil
+	if r := m.AccessLoad(7, 0x2, 0x40, 8); r.Conflict {
+		t.Fatal("fossil entry must be reclaimable")
+	}
+	if m.Reclaimed != 1 {
+		t.Errorf("reclaimed %d", m.Reclaimed)
+	}
+}
+
+// refOrderChecker is a reference disambiguator: it remembers every access in
+// full and derives the violation the MDT should report.
+type refAccess struct {
+	seq     seqnum.Seq
+	isStore bool
+}
+
+// TestMDTVsReference drives a large MDT with random in-flight load/store
+// traffic to a handful of addresses and checks violation *kinds* against a
+// reference built from the same highest-sequence-number rule.
+func TestMDTVsReference(t *testing.T) {
+	m := newTestMDT(256, 8, 8, true)
+	type refEntry struct {
+		loadSeq, storeSeq seqnum.Seq
+	}
+	ref := map[uint64]*refEntry{}
+	r := rand.New(rand.NewSource(99))
+	var seqs []seqnum.Seq
+	for s := 1; s <= 4000; s++ {
+		seqs = append(seqs, seqnum.Seq(s))
+	}
+	// Issue the sequence numbers in a random order, as an OoO core would.
+	r.Shuffle(len(seqs), func(i, j int) { seqs[i], seqs[j] = seqs[j], seqs[i] })
+
+	for _, seq := range seqs {
+		addr := uint64(r.Intn(16)) * 8
+		isStore := r.Intn(2) == 0
+		e := ref[addr]
+		if e == nil {
+			e = &refEntry{}
+			ref[addr] = e
+		}
+		var want ViolationKind = NoViolation
+		if isStore {
+			if e.loadSeq != 0 && seqnum.Before(seq, e.loadSeq) {
+				want = TrueViolation
+			} else if e.storeSeq != 0 && seqnum.Before(seq, e.storeSeq) {
+				want = OutputViolation
+			} else {
+				e.storeSeq = seq
+			}
+		} else {
+			if e.storeSeq != 0 && seqnum.Before(seq, e.storeSeq) {
+				want = AntiViolation
+			} else if e.loadSeq == 0 || !seqnum.Before(seq, e.loadSeq) {
+				e.loadSeq = seq
+			}
+		}
+		var res MDTResult
+		if isStore {
+			res = m.AccessStore(seq, uint64(seq)*4, addr, 8)
+		} else {
+			res = m.AccessLoad(seq, uint64(seq)*4, addr, 8)
+		}
+		if res.Conflict {
+			t.Fatal("conflict in oversized MDT")
+		}
+		got := NoViolation
+		if res.Violation != nil {
+			got = res.Violation.Kind
+		}
+		if got != want {
+			t.Fatalf("seq %d store=%v addr %#x: got %v want %v", seq, isStore, addr, got, want)
+		}
+	}
+}
+
+func TestMDTCheckLoadAnti(t *testing.T) {
+	m := newTestMDT(16, 2, 8, true)
+	m.AccessStore(10, 0x200, 0x40, 8)
+	// A filtered (non-allocating) older load must still catch the anti case.
+	if v := m.CheckLoadAnti(5, 0x100, 0x40, 8); v == nil || v.Kind != AntiViolation {
+		t.Fatalf("filtered anti check missed: %+v", v)
+	}
+	// A younger filtered load is clean and records nothing.
+	occ := m.Occupied
+	if v := m.CheckLoadAnti(15, 0x100, 0x80, 8); v != nil {
+		t.Fatal("false anti on unseen address")
+	}
+	if m.Occupied != occ {
+		t.Fatal("CheckLoadAnti must not allocate")
+	}
+	// With TrueOnly (multi-version mode) the probe is a no-op.
+	m.TrueOnly = true
+	if v := m.CheckLoadAnti(5, 0x100, 0x40, 8); v != nil {
+		t.Fatal("TrueOnly anti probe should be disabled")
+	}
+}

@@ -1,0 +1,187 @@
+package core
+
+import "testing"
+
+func smallPredCfg(mode PredictorMode) PredictorConfig {
+	return PredictorConfig{
+		Mode:      mode,
+		PTEntries: 64,
+		CTEntries: 64,
+		NumSets:   16,
+		LFPTSize:  8,
+		NumTags:   32,
+	}
+}
+
+func TestPredictorColdLookup(t *testing.T) {
+	p := NewPredictor(smallPredCfg(PredPairwise))
+	d, ok := p.Lookup(0x10)
+	if !ok || d.ConsumeTag != NoTag || d.ProduceTag != NoTag {
+		t.Fatalf("cold lookup should be empty: %+v ok=%v", d, ok)
+	}
+}
+
+func TestPredictorEnforcesAfterViolation(t *testing.T) {
+	p := NewPredictor(smallPredCfg(PredPairwise))
+	p.RecordViolation(TrueViolation, 0x10, 0x20) // store 0x10 -> load 0x20
+
+	// The producer allocates a tag at dispatch...
+	dp, ok := p.Lookup(0x10)
+	if !ok || dp.ProduceTag == NoTag || dp.ConsumeTag != NoTag {
+		t.Fatalf("producer lookup: %+v", dp)
+	}
+	// ...and the consumer picks it up.
+	dc, ok := p.Lookup(0x20)
+	if !ok || dc.ConsumeTag != dp.ProduceTag || dc.ProduceTag != NoTag {
+		t.Fatalf("consumer lookup: %+v (producer tag %d)", dc, dp.ProduceTag)
+	}
+	if p.TagReady(dc.ConsumeTag) {
+		t.Fatal("tag must not be ready before the producer completes")
+	}
+	p.ProducerComplete(dp.ProduceTag)
+	if !p.TagReady(dc.ConsumeTag) {
+		t.Fatal("tag must be ready after completion")
+	}
+	// Lifecycle: release consumer at issue, producer at retire.
+	p.ReleaseConsume(dc.ConsumeTag)
+	p.ProducerDone(dp.ProduceTag, false)
+	if p.LiveTags() != 1 { // still referenced by the LFPT slot
+		t.Errorf("live tags %d, want 1 (LFPT)", p.LiveTags())
+	}
+}
+
+func TestPredictorModes(t *testing.T) {
+	// TrueOnly ignores anti and output violations.
+	p := NewPredictor(smallPredCfg(PredTrueOnly))
+	p.RecordViolation(AntiViolation, 0x10, 0x20)
+	p.RecordViolation(OutputViolation, 0x30, 0x40)
+	for _, pc := range []uint64{0x10, 0x20, 0x30, 0x40} {
+		if d, _ := p.Lookup(pc); d.ProduceTag != NoTag || d.ConsumeTag != NoTag {
+			t.Fatalf("TrueOnly trained on non-true violation at %#x", pc)
+		}
+	}
+	p.RecordViolation(TrueViolation, 0x10, 0x20)
+	if d, _ := p.Lookup(0x10); d.ProduceTag == NoTag {
+		t.Fatal("TrueOnly must train on true violations")
+	}
+
+	// Pairwise trains all kinds, producer/consumer roles only.
+	p = NewPredictor(smallPredCfg(PredPairwise))
+	p.RecordViolation(OutputViolation, 0x10, 0x20)
+	if d, _ := p.Lookup(0x20); d.ProduceTag != NoTag {
+		t.Fatal("pairwise consumer must not also produce")
+	}
+
+	// TotalOrder makes both parties producers AND consumers.
+	p = NewPredictor(smallPredCfg(PredTotalOrder))
+	p.RecordViolation(OutputViolation, 0x10, 0x20)
+	d1, ok1 := p.Lookup(0x10)
+	if !ok1 || d1.ProduceTag == NoTag {
+		t.Fatal("total-order producer missing")
+	}
+	d2, ok2 := p.Lookup(0x20)
+	if !ok2 || d2.ProduceTag == NoTag || d2.ConsumeTag != d1.ProduceTag {
+		t.Fatalf("total-order member must consume the previous producer's tag: %+v", d2)
+	}
+	// And the first party consumes too (from the set's current tag).
+	d3, _ := p.Lookup(0x10)
+	if d3.ConsumeTag != d2.ProduceTag {
+		t.Fatal("total-order first party must also consume")
+	}
+
+	// Off mode trains and produces nothing.
+	p = NewPredictor(smallPredCfg(PredOff))
+	p.RecordViolation(TrueViolation, 0x10, 0x20)
+	if d, _ := p.Lookup(0x10); d.ProduceTag != NoTag {
+		t.Fatal("off-mode predictor produced a tag")
+	}
+}
+
+func TestPredictorSetMerge(t *testing.T) {
+	p := NewPredictor(smallPredCfg(PredPairwise))
+	// Two disjoint producer sets...
+	p.RecordViolation(TrueViolation, 0x10, 0x20)
+	p.RecordViolation(TrueViolation, 0x30, 0x40)
+	// ...merged when a violation links them: the smaller id wins.
+	p.RecordViolation(TrueViolation, 0x10, 0x40)
+	if p.SetMerges != 1 {
+		t.Errorf("merges %d, want 1", p.SetMerges)
+	}
+	// After the merge both consumers follow producer 0x10's tag stream.
+	dp, _ := p.Lookup(0x10)
+	d2, _ := p.Lookup(0x20)
+	d4, _ := p.Lookup(0x40)
+	if d4.ConsumeTag != dp.ProduceTag {
+		t.Errorf("consumer 0x40 not merged onto producer 0x10")
+	}
+	_ = d2
+}
+
+func TestPredictorSquashForcesReady(t *testing.T) {
+	p := NewPredictor(smallPredCfg(PredPairwise))
+	p.RecordViolation(TrueViolation, 0x10, 0x20)
+	dp, _ := p.Lookup(0x10)
+	// The producer is squashed before completing; a consumer fetched
+	// later (reading the stale LFPT entry) must not wait forever.
+	p.ProducerDone(dp.ProduceTag, true)
+	dc, _ := p.Lookup(0x20)
+	if dc.ConsumeTag == NoTag {
+		t.Fatal("stale LFPT entry should still be consumable")
+	}
+	if !p.TagReady(dc.ConsumeTag) {
+		t.Fatal("squashed producer's tag must be forced ready")
+	}
+	p.ReleaseConsume(dc.ConsumeTag)
+}
+
+func TestPredictorTagExhaustionAndRecycle(t *testing.T) {
+	cfg := smallPredCfg(PredPairwise)
+	cfg.NumTags = 2
+	p := NewPredictor(cfg)
+	p.RecordViolation(TrueViolation, 0x10, 0x20)
+	d1, ok := p.Lookup(0x10)
+	if !ok {
+		t.Fatal("first allocation failed")
+	}
+	// Second allocation displaces the first from the LFPT; the first is
+	// still held by its producer reference.
+	d2, ok := p.Lookup(0x10)
+	if !ok {
+		t.Fatal("second allocation failed")
+	}
+	// Pool exhausted now.
+	if _, ok := p.Lookup(0x10); ok {
+		t.Fatal("lookup should stall on tag exhaustion")
+	}
+	if p.TagStalls == 0 {
+		t.Error("stall not counted")
+	}
+	// Retiring the first producer frees its tag (it left the LFPT when
+	// displaced), unblocking dispatch.
+	p.ProducerDone(d1.ProduceTag, false)
+	if _, ok := p.Lookup(0x10); !ok {
+		t.Fatal("lookup should succeed after a tag is recycled")
+	}
+	_ = d2
+}
+
+func TestPredictorConsumerRefPreventsRecycle(t *testing.T) {
+	cfg := smallPredCfg(PredPairwise)
+	cfg.NumTags = 2
+	p := NewPredictor(cfg)
+	p.RecordViolation(TrueViolation, 0x10, 0x20)
+	d1, _ := p.Lookup(0x10) // tag A in LFPT
+	dc, _ := p.Lookup(0x20) // consumer holds A
+	d2, _ := p.Lookup(0x10) // tag B displaces A from LFPT
+	// A is held only by its producer and the waiting consumer now.
+	p.ProducerDone(d1.ProduceTag, false)
+	// Pool: A still held by consumer; B live -> exhausted.
+	if _, ok := p.Lookup(0x10); ok {
+		t.Fatal("consumer-held tag must not be recycled")
+	}
+	p.ReleaseConsume(dc.ConsumeTag)
+	if _, ok := p.Lookup(0x10); !ok {
+		t.Fatal("tag should recycle once the consumer releases it")
+	}
+	_ = d2
+}

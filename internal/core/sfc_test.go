@@ -1,0 +1,246 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sfcmdt/internal/seqnum"
+)
+
+func newTestSFC(sets, ways int) *SFC {
+	return NewSFC(SFCConfig{Sets: sets, Ways: ways})
+}
+
+func TestSFCConfigValidate(t *testing.T) {
+	if err := (SFCConfig{Sets: 128, Ways: 2}).Validate(); err != nil {
+		t.Error(err)
+	}
+	for _, c := range []SFCConfig{{Sets: 0, Ways: 2}, {Sets: 3, Ways: 2}, {Sets: 4, Ways: 0}} {
+		if err := c.Validate(); err == nil {
+			t.Errorf("accepted bad config %+v", c)
+		}
+	}
+}
+
+func TestSFCStoreThenLoad(t *testing.T) {
+	s := newTestSFC(16, 2)
+	if !s.StoreWrite(1, 0x100, 8, 0x1122334455667788) {
+		t.Fatal("store rejected")
+	}
+	res := s.LoadRead(0x100, 8)
+	if res.Status != SFCFull {
+		t.Fatalf("status %v", res.Status)
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(res.Data[i]) << (8 * i)
+	}
+	if v != 0x1122334455667788 {
+		t.Fatalf("value %#x", v)
+	}
+}
+
+func TestSFCSubwordMerge(t *testing.T) {
+	s := newTestSFC(16, 2)
+	s.StoreWrite(1, 0x104, 2, 0xBEEF) // bytes 4-5 of the word
+	res := s.LoadRead(0x104, 2)
+	if res.Status != SFCFull || res.Data[0] != 0xEF || res.Data[1] != 0xBE {
+		t.Fatalf("subword full match failed: %+v", res)
+	}
+	// A wider load sees a partial match.
+	res = s.LoadRead(0x100, 8)
+	if res.Status != SFCPartial {
+		t.Fatalf("want partial, got %v", res.Status)
+	}
+	if res.ValidMask != 0b00110000 {
+		t.Fatalf("valid mask %08b", res.ValidMask)
+	}
+	// A disjoint narrow load misses.
+	if res := s.LoadRead(0x100, 2); res.Status != SFCMiss {
+		t.Fatalf("disjoint load: %v", res.Status)
+	}
+	// Cumulative: a second store fills more bytes.
+	s.StoreWrite(2, 0x100, 4, 0xAABBCCDD)
+	res = s.LoadRead(0x100, 4)
+	if res.Status != SFCFull {
+		t.Fatalf("after fill: %v", res.Status)
+	}
+}
+
+func TestSFCSetConflict(t *testing.T) {
+	s := newTestSFC(1, 2)
+	if !s.StoreWrite(1, 0x00, 8, 1) || !s.StoreWrite(2, 0x08, 8, 2) {
+		t.Fatal("first two ways should allocate")
+	}
+	if s.CanWrite(0x10) {
+		t.Error("third distinct word must conflict")
+	}
+	if s.StoreWrite(3, 0x10, 8, 3) {
+		t.Error("conflicting store must be rejected")
+	}
+	if s.StoreConflicts == 0 {
+		t.Error("conflict not counted")
+	}
+	// Same-word store still fits.
+	if !s.CanWrite(0x08) || !s.StoreWrite(4, 0x08, 8, 4) {
+		t.Error("tag-matching store must succeed")
+	}
+}
+
+func TestSFCCorruptionLifecycle(t *testing.T) {
+	s := newTestSFC(16, 2)
+	s.StoreWrite(1, 0x40, 8, 0xAAAA)
+	s.MarkAllCorrupt()
+	if res := s.LoadRead(0x40, 8); res.Status != SFCCorrupt {
+		t.Fatalf("want corrupt, got %v", res.Status)
+	}
+	// A new store cleanses the bytes it writes.
+	s.StoreWrite(2, 0x40, 4, 0xBBBB)
+	if res := s.LoadRead(0x40, 4); res.Status != SFCFull {
+		t.Fatalf("store must clear corruption on its bytes: %v", res.Status)
+	}
+	if res := s.LoadRead(0x44, 4); res.Status != SFCCorrupt {
+		t.Fatalf("unwritten bytes must stay corrupt: %v", res.Status)
+	}
+	// CorruptWord poisons a single entry.
+	s.StoreWrite(3, 0x80, 8, 0xCC)
+	s.CorruptWord(0x80)
+	if res := s.LoadRead(0x80, 8); res.Status != SFCCorrupt {
+		t.Fatalf("CorruptWord: %v", res.Status)
+	}
+}
+
+func TestSFCRetireFrees(t *testing.T) {
+	s := newTestSFC(16, 2)
+	s.StoreWrite(5, 0x40, 8, 1)
+	s.StoreWrite(9, 0x40, 8, 2) // later writer
+	if s.RetireStore(5, 0x40) {
+		t.Error("earlier store's retirement must not free the entry")
+	}
+	if res := s.LoadRead(0x40, 8); res.Status != SFCFull {
+		t.Error("entry should survive the earlier retirement")
+	}
+	if !s.RetireStore(9, 0x40) {
+		t.Error("latest writer's retirement must free the entry")
+	}
+	if res := s.LoadRead(0x40, 8); res.Status != SFCMiss {
+		t.Error("entry should be gone")
+	}
+	if s.Occupied != 0 {
+		t.Errorf("occupancy %d", s.Occupied)
+	}
+}
+
+func TestSFCFlush(t *testing.T) {
+	s := newTestSFC(16, 2)
+	s.StoreWrite(1, 0x40, 8, 1)
+	s.StoreWrite(2, 0x48, 8, 2)
+	s.Flush()
+	if s.Occupied != 0 {
+		t.Error("flush must empty the SFC")
+	}
+	if res := s.LoadRead(0x40, 8); res.Status != SFCMiss {
+		t.Error("flushed entry still readable")
+	}
+}
+
+func TestSFCReclamation(t *testing.T) {
+	s := newTestSFC(1, 1)
+	s.StoreWrite(5, 0x00, 8, 1)
+	// Writer seq 5 is still in flight: the single way is pinned.
+	s.SetBound(4)
+	if s.CanWrite(0x40) {
+		t.Error("live entry must not be reclaimable")
+	}
+	// Once the bound passes the writer (retired or squashed), the fossil
+	// entry becomes reclaimable by a new store.
+	s.SetBound(6)
+	if !s.CanWrite(0x40) {
+		t.Error("fossil entry must be reclaimable")
+	}
+	if !s.StoreWrite(7, 0x40, 8, 2) {
+		t.Error("store into reclaimed way failed")
+	}
+	if s.Reclaimed != 1 {
+		t.Errorf("reclaimed %d", s.Reclaimed)
+	}
+	// In-place reclamation: a fossil entry with a matching tag must not
+	// leak its stale bytes into a new store's word.
+	s2 := newTestSFC(1, 1)
+	s2.StoreWrite(5, 0x00, 8, 0xFFFFFFFFFFFFFFFF)
+	s2.SetBound(10)
+	s2.StoreWrite(11, 0x00, 1, 0xAA)
+	res := s2.LoadRead(0x00, 8)
+	if res.Status != SFCPartial || res.ValidMask != 1 {
+		t.Fatalf("stale bytes leaked through reclaim: %v mask=%08b", res.Status, res.ValidMask)
+	}
+}
+
+// refSFC is a simple reference model: a map of live bytes written by
+// in-flight stores, with the same free-at-latest-retire rule.
+type refSFC struct {
+	data   map[uint64]byte
+	writer map[uint64]seqnum.Seq // word -> last writer
+}
+
+// TestSFCVsReference drives the SFC with random store/load/retire traffic
+// (no corruption events) and checks every forwarded byte against the
+// reference model. Uses a large SFC so conflicts don't occur.
+func TestSFCVsReference(t *testing.T) {
+	s := newTestSFC(64, 8)
+	ref := refSFC{data: map[uint64]byte{}, writer: map[uint64]seqnum.Seq{}}
+	r := rand.New(rand.NewSource(123))
+	var seq seqnum.Seq
+	live := map[seqnum.Seq][2]uint64{} // seq -> (addr, size)
+	var order []seqnum.Seq
+
+	for i := 0; i < 30000; i++ {
+		switch r.Intn(3) {
+		case 0: // store
+			seq++
+			size := []int{1, 2, 4, 8}[r.Intn(4)]
+			addr := uint64(r.Intn(64)*8) + uint64(r.Intn(8/size)*size)
+			val := r.Uint64()
+			if !s.StoreWrite(seq, addr, size, val) {
+				t.Fatal("unexpected conflict in big SFC")
+			}
+			for b := 0; b < size; b++ {
+				ref.data[addr+uint64(b)] = byte(val >> (8 * b))
+				ref.writer[addr/8*8] = seq
+			}
+			live[seq] = [2]uint64{addr, uint64(size)}
+			order = append(order, seq)
+		case 1: // load
+			size := []int{1, 2, 4, 8}[r.Intn(4)]
+			addr := uint64(r.Intn(64)*8) + uint64(r.Intn(8/size)*size)
+			res := s.LoadRead(addr, size)
+			for b := 0; b < size; b++ {
+				refByte, inRef := ref.data[addr+uint64(b)]
+				gotValid := res.ValidMask&(1<<b) != 0
+				if gotValid != inRef {
+					t.Fatalf("byte %#x validity: sfc=%v ref=%v", addr+uint64(b), gotValid, inRef)
+				}
+				if inRef && res.Data[b] != refByte {
+					t.Fatalf("byte %#x: sfc=%#x ref=%#x", addr+uint64(b), res.Data[b], refByte)
+				}
+			}
+		case 2: // retire the oldest store
+			if len(order) == 0 {
+				continue
+			}
+			rs := order[0]
+			order = order[1:]
+			as := live[rs]
+			delete(live, rs)
+			word := as[0] / 8 * 8
+			s.RetireStore(rs, as[0])
+			if ref.writer[word] == rs {
+				// Latest writer retires: the word's bytes leave the model.
+				for b := uint64(0); b < 8; b++ {
+					delete(ref.data, word+b)
+				}
+				delete(ref.writer, word)
+			}
+		}
+	}
+}

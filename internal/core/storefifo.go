@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+
+	"sfcmdt/internal/seqnum"
+)
+
+// fifoEntry is one in-flight store awaiting in-order retirement.
+type fifoEntry struct {
+	seq   seqnum.Seq
+	ready bool // address and data written (store executed)
+	addr  uint64
+	size  int
+	value uint64
+}
+
+// StoreFIFO buffers stores for in-order, non-speculative retirement (paper
+// §2: "a store enters the non-associative store FIFO at dispatch, writes its
+// data and address to the FIFO during execution, and exits the FIFO at
+// retirement"). In the absence of a CAM the store queue degenerates to this
+// simple FIFO.
+type StoreFIFO struct {
+	entries []fifoEntry // oldest first
+	cap     int
+}
+
+// NewStoreFIFO builds a FIFO with the given capacity.
+func NewStoreFIFO(capacity int) *StoreFIFO {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("core: store FIFO capacity %d", capacity))
+	}
+	return &StoreFIFO{cap: capacity}
+}
+
+// Cap returns the capacity.
+func (f *StoreFIFO) Cap() int { return f.cap }
+
+// Len returns the number of in-flight stores.
+func (f *StoreFIFO) Len() int { return len(f.entries) }
+
+// Dispatch allocates an entry for a store entering the pipeline; it returns
+// false when the FIFO is full (dispatch must stall).
+func (f *StoreFIFO) Dispatch(seq seqnum.Seq) bool {
+	if len(f.entries) >= f.cap {
+		return false
+	}
+	if n := len(f.entries); n > 0 && !seqnum.After(seq, f.entries[n-1].seq) {
+		panic("core: store FIFO dispatch out of order")
+	}
+	f.entries = append(f.entries, fifoEntry{seq: seq})
+	return true
+}
+
+// Execute records a store's address and data. The entry must exist.
+func (f *StoreFIFO) Execute(seq seqnum.Seq, addr uint64, size int, value uint64) {
+	for i := range f.entries {
+		if f.entries[i].seq == seq {
+			f.entries[i].ready = true
+			f.entries[i].addr = addr
+			f.entries[i].size = size
+			f.entries[i].value = value
+			return
+		}
+	}
+	panic(fmt.Sprintf("core: store FIFO execute for unknown seq %d", seq))
+}
+
+// Retire pops the head entry, which must belong to the given store and be
+// ready, and returns its address, size, and value for commitment to the
+// cache hierarchy.
+func (f *StoreFIFO) Retire(seq seqnum.Seq) (addr uint64, size int, value uint64, err error) {
+	if len(f.entries) == 0 {
+		return 0, 0, 0, fmt.Errorf("core: store FIFO retire on empty FIFO")
+	}
+	h := f.entries[0]
+	if h.seq != seq {
+		return 0, 0, 0, fmt.Errorf("core: store FIFO retire seq %d, head is %d", seq, h.seq)
+	}
+	if !h.ready {
+		return 0, 0, 0, fmt.Errorf("core: store FIFO retire of unexecuted store %d", seq)
+	}
+	f.entries = f.entries[1:]
+	return h.addr, h.size, h.value, nil
+}
+
+// FirstUnexecuted returns the sequence number of the oldest store that has
+// not yet written its address and data, and whether one exists. Loads older
+// than every unexecuted store cannot become true-violation victims — the
+// store-vulnerability-window filter of paper §4 ("search filtering could
+// dramatically decrease the pressure on the MDT").
+func (f *StoreFIFO) FirstUnexecuted() (seqnum.Seq, bool) {
+	for i := range f.entries {
+		if !f.entries[i].ready {
+			return f.entries[i].seq, true
+		}
+	}
+	return seqnum.None, false
+}
+
+// SquashFrom removes all entries with sequence number >= from (a suffix,
+// since dispatch order is program order).
+func (f *StoreFIFO) SquashFrom(from seqnum.Seq) {
+	for i, e := range f.entries {
+		if !seqnum.Before(e.seq, from) {
+			f.entries = f.entries[:i]
+			return
+		}
+	}
+}
+
+// Reset empties the FIFO.
+func (f *StoreFIFO) Reset() { f.entries = f.entries[:0] }

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"sfcmdt/internal/seqnum"
+)
+
+func TestFIFOBasicFlow(t *testing.T) {
+	f := NewStoreFIFO(4)
+	if !f.Dispatch(1) || !f.Dispatch(2) {
+		t.Fatal("dispatch failed")
+	}
+	f.Execute(1, 0x100, 8, 0xAA)
+	f.Execute(2, 0x108, 4, 0xBB)
+	addr, size, val, err := f.Retire(1)
+	if err != nil || addr != 0x100 || size != 8 || val != 0xAA {
+		t.Fatalf("retire 1: %#x %d %#x %v", addr, size, val, err)
+	}
+	if f.Len() != 1 {
+		t.Errorf("len %d", f.Len())
+	}
+}
+
+func TestFIFOCapacity(t *testing.T) {
+	f := NewStoreFIFO(2)
+	f.Dispatch(1)
+	f.Dispatch(2)
+	if f.Dispatch(3) {
+		t.Fatal("dispatch beyond capacity")
+	}
+	f.Execute(1, 0, 8, 0)
+	f.Retire(1)
+	if !f.Dispatch(3) {
+		t.Fatal("dispatch after drain failed")
+	}
+}
+
+func TestFIFORetireErrors(t *testing.T) {
+	f := NewStoreFIFO(4)
+	if _, _, _, err := f.Retire(1); err == nil {
+		t.Fatal("retire on empty FIFO must fail")
+	}
+	f.Dispatch(1)
+	f.Dispatch(2)
+	f.Execute(2, 0, 8, 0)
+	if _, _, _, err := f.Retire(2); err == nil {
+		t.Fatal("out-of-order retire must fail")
+	}
+	if _, _, _, err := f.Retire(1); err == nil {
+		t.Fatal("retire of unexecuted store must fail")
+	}
+}
+
+func TestFIFOSquash(t *testing.T) {
+	f := NewStoreFIFO(8)
+	for s := 1; s <= 5; s++ {
+		f.Dispatch(seqnum.Seq(s))
+	}
+	f.SquashFrom(3)
+	if f.Len() != 2 {
+		t.Fatalf("len after squash %d", f.Len())
+	}
+	// Squashing everything.
+	f.SquashFrom(1)
+	if f.Len() != 0 {
+		t.Fatal("full squash failed")
+	}
+	// Squash with nothing matching is a no-op.
+	f.Dispatch(10)
+	f.SquashFrom(50)
+	if f.Len() != 1 {
+		t.Fatal("no-op squash changed the FIFO")
+	}
+}
+
+func TestFIFOOutOfOrderDispatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-order dispatch")
+		}
+	}()
+	f := NewStoreFIFO(4)
+	f.Dispatch(5)
+	f.Dispatch(3)
+}
+
+func TestFIFOFirstUnexecuted(t *testing.T) {
+	f := NewStoreFIFO(8)
+	if _, ok := f.FirstUnexecuted(); ok {
+		t.Fatal("empty FIFO has no unexecuted store")
+	}
+	f.Dispatch(1)
+	f.Dispatch(2)
+	f.Dispatch(3)
+	f.Execute(1, 0, 8, 0)
+	f.Execute(3, 8, 8, 0)
+	if s, ok := f.FirstUnexecuted(); !ok || s != 2 {
+		t.Fatalf("first unexecuted = %d, %v; want 2", s, ok)
+	}
+	f.Execute(2, 16, 8, 0)
+	if _, ok := f.FirstUnexecuted(); ok {
+		t.Fatal("all executed: no watermark expected")
+	}
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+
+	"sfcmdt/internal/seqnum"
+)
+
+// ValueReplay implements the related-work baseline of Cain & Lipasti
+// ("Memory ordering: a value-based approach", ISCA-31), which the paper
+// discusses in §4: the associative load queue is eliminated entirely.
+// Loads forward from the store queue at execution as usual, but memory
+// disambiguation is deferred to retirement — every load re-reads the cache
+// when it retires (all older stores have committed by then) and compares
+// against the value it obtained at execution. A mismatch is a memory
+// ordering violation detected at the very end of the pipeline, which is
+// exactly why the paper argues that "disambiguating memory references at
+// completion is preferable" for large instruction windows: the recovery
+// penalty grows with the window.
+type ValueReplay struct {
+	cfg    LSQConfig // LoadEntries bounds tracked loads; StoreEntries the SQ
+	loads  []lqEntry
+	stores []sqEntry
+
+	// Stats.
+	Forwards        uint64
+	PartialMerges   uint64
+	ReplayedLoads   uint64 // loads re-executed at retirement
+	Violations      uint64 // retirement-time mismatches
+	EntriesSearched uint64
+	DispatchStalls  uint64
+}
+
+// NewValueReplay builds the subsystem.
+func NewValueReplay(cfg LSQConfig) *ValueReplay {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &ValueReplay{cfg: cfg}
+}
+
+// Config returns the queue sizes.
+func (q *ValueReplay) Config() LSQConfig { return q.cfg }
+
+// Loads returns the number of tracked in-flight loads.
+func (q *ValueReplay) Loads() int { return len(q.loads) }
+
+// Stores returns the number of in-flight stores.
+func (q *ValueReplay) Stores() int { return len(q.stores) }
+
+// DispatchLoad allocates a (non-associative) load tracking slot.
+func (q *ValueReplay) DispatchLoad(seq seqnum.Seq, pc uint64) bool {
+	if len(q.loads) >= q.cfg.LoadEntries {
+		q.DispatchStalls++
+		return false
+	}
+	q.loads = append(q.loads, lqEntry{seq: seq, pc: pc})
+	return true
+}
+
+// DispatchStore allocates a store queue slot.
+func (q *ValueReplay) DispatchStore(seq seqnum.Seq, pc uint64) bool {
+	if len(q.stores) >= q.cfg.StoreEntries {
+		q.DispatchStalls++
+		return false
+	}
+	q.stores = append(q.stores, sqEntry{seq: seq, pc: pc})
+	return true
+}
+
+// ExecuteLoad forwards from the store queue (age-prioritized, byte
+// accurate) over committed memory, recording the obtained value for the
+// retirement-time check.
+func (q *ValueReplay) ExecuteLoad(seq seqnum.Seq, addr uint64, size int, memRead MemReader) (LoadResult, error) {
+	e := q.findLoad(seq)
+	if e == nil {
+		return LoadResult{}, fmt.Errorf("core: ValueReplay ExecuteLoad unknown seq %d", seq)
+	}
+	val, all, any := q.gather(seq, addr, size, memRead)
+	e.executed = true
+	e.addr = addr
+	e.size = size
+	e.value = val
+	if all {
+		q.Forwards++
+	} else if any {
+		q.PartialMerges++
+	}
+	return LoadResult{Value: val, Forwarded: all, Partial: any && !all}, nil
+}
+
+// gather mirrors LSQ.gather (shared entry layout).
+func (q *ValueReplay) gather(loadSeq seqnum.Seq, addr uint64, size int, memRead MemReader) (val uint64, allFromSQ, anyFromSQ bool) {
+	var buf [8]byte
+	var fromSQ [8]bool
+	for i := 0; i < size; i++ {
+		buf[i] = memRead(addr + uint64(i))
+	}
+	q.EntriesSearched += uint64(len(q.stores))
+	for si := range q.stores {
+		st := &q.stores[si]
+		if !st.executed || !seqnum.Before(st.seq, loadSeq) {
+			continue
+		}
+		lo, hi := maxU64(st.addr, addr), minU64(st.addr+uint64(st.size), addr+uint64(size))
+		for b := lo; b < hi; b++ {
+			buf[b-addr] = byte(st.value >> (8 * (b - st.addr)))
+			fromSQ[b-addr] = true
+		}
+	}
+	allFromSQ = true
+	for i := 0; i < size; i++ {
+		val |= uint64(buf[i]) << (8 * i)
+		if fromSQ[i] {
+			anyFromSQ = true
+		} else {
+			allFromSQ = false
+		}
+	}
+	return val, allFromSQ, anyFromSQ
+}
+
+// ExecuteStore records the store; no load-queue search exists to perform.
+func (q *ValueReplay) ExecuteStore(seq seqnum.Seq, addr uint64, size int, value uint64, memRead MemReader) error {
+	st := q.findStore(seq)
+	if st == nil {
+		return fmt.Errorf("core: ValueReplay ExecuteStore unknown seq %d", seq)
+	}
+	st.executed = true
+	st.addr = addr
+	st.size = size
+	st.value = value & sizeMaskLSQ(size)
+	return nil
+}
+
+// RetireLoad performs the retirement-time replay: re-read committed memory
+// (every older store has retired) and compare with the execution-time
+// value. It returns a violation whose flush point is the load itself when
+// the values disagree — the maximally late detection this scheme implies.
+func (q *ValueReplay) RetireLoad(seq seqnum.Seq, memRead MemReader) (*Violation, error) {
+	if len(q.loads) == 0 || q.loads[0].seq != seq {
+		return nil, fmt.Errorf("core: ValueReplay RetireLoad %d not at head", seq)
+	}
+	ld := q.loads[0]
+	q.loads = q.loads[1:]
+	q.ReplayedLoads++
+	var now uint64
+	for b := 0; b < ld.size; b++ {
+		now |= uint64(memRead(ld.addr+uint64(b))) << (8 * b)
+	}
+	if now == ld.value {
+		return nil, nil
+	}
+	q.Violations++
+	return &Violation{
+		Kind:         TrueViolation,
+		ProducerPC:   0, // the offending store is unknown by construction
+		ProducerSeq:  seqnum.None,
+		ConsumerPC:   ld.pc,
+		ConsumerSeq:  ld.seq,
+		FlushFromSeq: ld.seq,
+	}, nil
+}
+
+// RetireStore pops the head store for commitment.
+func (q *ValueReplay) RetireStore(seq seqnum.Seq) (addr uint64, size int, value uint64, err error) {
+	if len(q.stores) == 0 || q.stores[0].seq != seq {
+		return 0, 0, 0, fmt.Errorf("core: ValueReplay RetireStore %d not at head", seq)
+	}
+	h := q.stores[0]
+	if !h.executed {
+		return 0, 0, 0, fmt.Errorf("core: ValueReplay RetireStore %d not executed", seq)
+	}
+	q.stores = q.stores[1:]
+	return h.addr, h.size, h.value, nil
+}
+
+// SquashFrom removes all entries with sequence number >= from.
+func (q *ValueReplay) SquashFrom(from seqnum.Seq) {
+	for i, e := range q.loads {
+		if !seqnum.Before(e.seq, from) {
+			q.loads = q.loads[:i]
+			break
+		}
+	}
+	for i, e := range q.stores {
+		if !seqnum.Before(e.seq, from) {
+			q.stores = q.stores[:i]
+			break
+		}
+	}
+}
+
+func (q *ValueReplay) findLoad(seq seqnum.Seq) *lqEntry {
+	for i := range q.loads {
+		if q.loads[i].seq == seq {
+			return &q.loads[i]
+		}
+	}
+	return nil
+}
+
+func (q *ValueReplay) findStore(seq seqnum.Seq) *sqEntry {
+	for i := range q.stores {
+		if q.stores[i].seq == seq {
+			return &q.stores[i]
+		}
+	}
+	return nil
+}

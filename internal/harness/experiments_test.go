@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsSmoke runs every experiment at a tiny instruction budget
+// so table generation, matrix plumbing, and statistics extraction stay
+// covered. The full-size runs live in cmd/sfcbench (see EXPERIMENTS.md).
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite")
+	}
+	r := NewRunner(1500)
+	small := []string{"gzip", "mcf"}
+	cases := []struct {
+		name    string
+		run     func() (*Table, error)
+		minRows int
+	}{
+		{"figure5", func() (*Table, error) { return Figure5(r) }, 22},
+		{"figure6", func() (*Table, error) { return Figure6(r) }, 21},
+		{"violations", func() (*Table, error) { return Violations(r) }, 20},
+		{"enf-vs-notenf", func() (*Table, error) { return EnfVsNotEnf(r) }, 20},
+		{"conflicts", func() (*Table, error) { return Conflicts(r) }, 19},
+		{"assoc16", func() (*Table, error) { return Assoc16(r) }, 2},
+		{"corruption", func() (*Table, error) { return Corruption(r) }, 19},
+		{"granularity", func() (*Table, error) { return Granularity(r, small) }, 2},
+		{"recovery", func() (*Table, error) { return Recovery(r, small) }, 2},
+		{"tagged-vs-untagged", func() (*Table, error) { return TaggedVsUntagged(r, small) }, 2},
+		{"flush-endpoints", func() (*Table, error) { return FlushEndpoints(r, small) }, 2},
+		{"window-scaling", func() (*Table, error) { return WindowScaling(r, small) }, 4},
+		{"search-work", func() (*Table, error) { return SearchWork(r) }, 19},
+		{"value-replay", func() (*Table, error) { return ValueReplayComparison(r) }, 19},
+		{"multi-version", func() (*Table, error) { return MultiVersion(r) }, 19},
+		{"structure-scaling", func() (*Table, error) { return StructureScaling(r, small) }, 2},
+		{"search-filter", func() (*Table, error) { return SearchFilter(r, small) }, 2},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			tb, err := c.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tb.Rows) < c.minRows {
+				t.Fatalf("table has %d rows, want >= %d", len(tb.Rows), c.minRows)
+			}
+			var sb strings.Builder
+			tb.Fprint(&sb)
+			if !strings.Contains(sb.String(), tb.Title) {
+				t.Error("printed table missing its title")
+			}
+		})
+	}
+}
+
+func TestExperimentErrorsOnUnknownWorkload(t *testing.T) {
+	r := NewRunner(500)
+	if _, err := Granularity(r, []string{"nonexistent"}); err == nil {
+		t.Error("Granularity accepted an unknown workload")
+	}
+	if _, err := Recovery(r, []string{"nonexistent"}); err == nil {
+		t.Error("Recovery accepted an unknown workload")
+	}
+	if _, err := TaggedVsUntagged(r, []string{"nonexistent"}); err == nil {
+		t.Error("TaggedVsUntagged accepted an unknown workload")
+	}
+	if _, err := FlushEndpoints(r, []string{"nonexistent"}); err == nil {
+		t.Error("FlushEndpoints accepted an unknown workload")
+	}
+	if _, err := WindowScaling(r, []string{"nonexistent"}); err == nil {
+		t.Error("WindowScaling accepted an unknown workload")
+	}
+}

@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sfcmdt/internal/pipeline"
+	"sfcmdt/internal/workload"
+)
+
+func TestConfigsValidate(t *testing.T) {
+	for _, v := range []Variant{LSQ48x32, LSQ120x80, LSQ256x256, MDTSFCEnf, MDTSFCNot, MDTSFCTotal} {
+		b := BaselineConfig(v, 1000)
+		if err := b.Validate(); err != nil {
+			t.Errorf("baseline %s: %v", v.Label, err)
+		}
+		a := AggressiveConfig(v, 1000)
+		if err := a.Validate(); err != nil {
+			t.Errorf("aggressive %s: %v", v.Label, err)
+		}
+		if a.ROBSize != 1024 || b.ROBSize != 128 {
+			t.Error("window sizes do not match Figure 4")
+		}
+	}
+	// Geometry from Figure 4.
+	a := AggressiveConfig(MDTSFCTotal, 1)
+	if a.MDT.Sets != 8192 || a.SFC.Sets != 512 {
+		t.Errorf("aggressive MDT/SFC geometry: %d/%d", a.MDT.Sets, a.SFC.Sets)
+	}
+	b := BaselineConfig(MDTSFCEnf, 1)
+	if b.MDT.Sets != 4096 || b.SFC.Sets != 128 {
+		t.Errorf("baseline MDT/SFC geometry: %d/%d", b.MDT.Sets, b.SFC.Sets)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := &Table{
+		Title:  "demo",
+		Note:   "a note that should wrap nicely across the output without breaking words",
+		Header: []string{"name", "v1", "v2"},
+	}
+	tb.AddRow("alpha", "1.000", "2.000")
+	tb.AddRow("verylongbenchmarkname", "0.5", "0.25")
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"== demo ==", "alpha", "verylongbenchmarkname", "v2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("geomean(2,8) = %v", g)
+	}
+	if g := geomean(nil); g != 0 {
+		t.Errorf("geomean(nil) = %v", g)
+	}
+	if g := geomean([]float64{1, 0}); g != 0 {
+		t.Errorf("geomean with zero = %v", g)
+	}
+}
+
+func TestFigure4Static(t *testing.T) {
+	tb := Figure4()
+	if len(tb.Rows) < 10 {
+		t.Fatalf("Figure 4 has %d rows", len(tb.Rows))
+	}
+}
+
+// TestRunnerSmoke runs one workload under one config through the shared
+// runner machinery, exercising trace caching and the parallel path.
+func TestRunnerSmoke(t *testing.T) {
+	r := NewRunner(3000)
+	w, _ := workload.Get("crafty")
+	res := r.Run(BaselineConfig(MDTSFCEnf, r.MaxInsts), w)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Stats.Retired != 3000 {
+		t.Errorf("retired %d", res.Stats.Retired)
+	}
+	// Second run hits the trace cache and must agree exactly.
+	res2 := r.Run(BaselineConfig(MDTSFCEnf, r.MaxInsts), w)
+	if res2.Err != nil || res2.Stats.Cycles != res.Stats.Cycles {
+		t.Error("cached rerun disagreed")
+	}
+	// Matrix path: one workload under two configurations in parallel.
+	m, err := r.RunMatrix([]workload.Workload{w}, []pipeline.Config{
+		BaselineConfig(MDTSFCEnf, r.MaxInsts),
+		BaselineConfig(LSQ48x32, r.MaxInsts),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 1 || len(m[0]) != 2 {
+		t.Fatalf("matrix shape %dx%d", len(m), len(m[0]))
+	}
+	if m[0][0].Stats.Cycles != res.Stats.Cycles {
+		t.Error("matrix run disagreed with direct run")
+	}
+}

@@ -1,0 +1,148 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"sfcmdt/internal/arch"
+	"sfcmdt/internal/metrics"
+	"sfcmdt/internal/pipeline"
+	"sfcmdt/internal/prog"
+	"sfcmdt/internal/workload"
+)
+
+// Result is one (workload, configuration) run.
+type Result struct {
+	Workload string
+	Class    workload.Class
+	Config   string
+	Stats    *metrics.Stats
+	Err      error
+}
+
+// Runner executes pipeline runs, caching each workload's image and golden
+// trace (the trace depends only on the instruction budget, not the
+// configuration) and fanning runs out across CPUs.
+type Runner struct {
+	MaxInsts uint64
+	Quiet    bool
+	Progress func(format string, args ...any)
+
+	mu     sync.Mutex
+	images map[string]*prog.Image
+	traces map[string]*arch.Trace
+}
+
+// NewRunner builds a runner with the given per-run instruction budget.
+func NewRunner(maxInsts uint64) *Runner {
+	return &Runner{
+		MaxInsts: maxInsts,
+		images:   make(map[string]*prog.Image),
+		traces:   make(map[string]*arch.Trace),
+	}
+}
+
+func (r *Runner) progress(format string, args ...any) {
+	if r.Progress != nil && !r.Quiet {
+		r.Progress(format, args...)
+	}
+}
+
+// materialize returns the cached image and trace for a workload.
+func (r *Runner) materialize(w workload.Workload) (*prog.Image, *arch.Trace, error) {
+	r.mu.Lock()
+	img, okI := r.images[w.Name]
+	tr, okT := r.traces[w.Name]
+	r.mu.Unlock()
+	if okI && okT {
+		return img, tr, nil
+	}
+	img = w.Build()
+	tr, err := arch.RunTrace(img, r.MaxInsts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("harness: %s: %w", w.Name, err)
+	}
+	r.mu.Lock()
+	r.images[w.Name] = img
+	r.traces[w.Name] = tr
+	r.mu.Unlock()
+	return img, tr, nil
+}
+
+// Run executes one workload under one configuration.
+func (r *Runner) Run(cfg pipeline.Config, w workload.Workload) Result {
+	res := Result{Workload: w.Name, Class: w.Class, Config: cfg.Name}
+	img, tr, err := r.materialize(w)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	cfg.MaxInsts = r.MaxInsts
+	p, err := pipeline.NewWithTrace(cfg, img, tr)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	st, err := p.Run()
+	res.Stats = st
+	res.Err = err
+	r.progress("done %-12s %-28s IPC=%.3f", w.Name, cfg.Name, st.IPC())
+	return res
+}
+
+// Job pairs a workload with a configuration.
+type Job struct {
+	Cfg pipeline.Config
+	W   workload.Workload
+}
+
+// RunAll executes jobs across all CPUs and returns results in job order.
+func (r *Runner) RunAll(jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	// Materialize traces serially first (cheap, avoids duplicate work).
+	for _, j := range jobs {
+		if _, _, err := r.materialize(j.W); err != nil {
+			break // the per-job Run will surface the error
+		}
+	}
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, j Job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = r.Run(j.Cfg, j.W)
+		}(i, j)
+	}
+	wg.Wait()
+	return results
+}
+
+// RunMatrix runs every listed workload under every configuration builder and
+// returns results indexed [workload][config].
+func (r *Runner) RunMatrix(ws []workload.Workload, cfgs []pipeline.Config) ([][]Result, error) {
+	jobs := make([]Job, 0, len(ws)*len(cfgs))
+	for _, w := range ws {
+		for _, cfg := range cfgs {
+			jobs = append(jobs, Job{Cfg: cfg, W: w})
+		}
+	}
+	flat := r.RunAll(jobs)
+	out := make([][]Result, len(ws))
+	k := 0
+	for i := range ws {
+		out[i] = make([]Result, len(cfgs))
+		for j := range cfgs {
+			res := flat[k]
+			k++
+			if res.Err != nil {
+				return nil, fmt.Errorf("harness: %s under %s: %w", res.Workload, res.Config, res.Err)
+			}
+			out[i][j] = res
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,155 @@
+package isa
+
+import "fmt"
+
+// Inst is a decoded instruction. The operand fields are interpreted
+// according to the op's Format:
+//
+//	FmtR:      Rd <- Rs1 op Rs2
+//	FmtI:      Rd <- Rs1 op Imm (Imm sign-extended from 16 bits)
+//	FmtImmSh:  Rd built from Imm (0..65535) shifted left by 16*Sh
+//	FmtLoad:   Rd <- mem[Rs1 + Imm]
+//	FmtStore:  mem[Rs1 + Imm] <- Rs2
+//	FmtBranch: if Rs1 cmp Rs2: PC <- PC + 4 + Imm*4
+//	FmtJal:    Rd <- PC+4; PC <- PC + 4 + Imm*4 (Imm is 21-bit signed)
+//	FmtJalr:   Rd <- PC+4; PC <- (Rs1 + Imm) &^ 3
+type Inst struct {
+	Op  Op
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Imm int32
+	Sh  uint8 // shift-chunk selector for MOVZ/MOVK (0..3)
+}
+
+// Binary encoding (32 bits):
+//
+//	bits 31..26  opcode
+//	bits 25..21  A field (rd; rs1 for branches; rs2/value for stores)
+//	bits 20..16  B field (rs1; shift for MOVZ/MOVK)
+//	bits 15..11  C field (rs2, R-type only)
+//	bits 15..0   imm16 (I/Load/Store/Branch/Jalr)
+//	bits 20..0   imm21 (JAL)
+const (
+	immMask16 = 0xFFFF
+	immMask21 = 0x1FFFFF
+)
+
+// Encode packs the instruction into its 32-bit binary form. It panics if an
+// operand is out of range for its field; the assembler validates ranges
+// before constructing an Inst.
+func (in Inst) Encode() uint32 {
+	w := uint32(in.Op) << 26
+	switch in.Op.Format() {
+	case FmtNone:
+	case FmtR:
+		w |= uint32(in.Rd)<<21 | uint32(in.Rs1)<<16 | uint32(in.Rs2)<<11
+	case FmtI:
+		w |= uint32(in.Rd)<<21 | uint32(in.Rs1)<<16 | uint32(in.Imm)&immMask16
+	case FmtImmSh:
+		w |= uint32(in.Rd)<<21 | uint32(in.Sh)<<16 | uint32(in.Imm)&immMask16
+	case FmtLoad:
+		w |= uint32(in.Rd)<<21 | uint32(in.Rs1)<<16 | uint32(in.Imm)&immMask16
+	case FmtStore:
+		w |= uint32(in.Rs2)<<21 | uint32(in.Rs1)<<16 | uint32(in.Imm)&immMask16
+	case FmtBranch:
+		w |= uint32(in.Rs1)<<21 | uint32(in.Rs2)<<16 | uint32(in.Imm)&immMask16
+	case FmtJal:
+		w |= uint32(in.Rd)<<21 | uint32(in.Imm)&immMask21
+	case FmtJalr:
+		w |= uint32(in.Rd)<<21 | uint32(in.Rs1)<<16 | uint32(in.Imm)&immMask16
+	}
+	return w
+}
+
+// signExtend returns the low n bits of v sign-extended to 32 bits.
+func signExtend(v uint32, n uint) int32 {
+	shift := 32 - n
+	return int32(v<<shift) >> shift
+}
+
+// Decode unpacks a 32-bit instruction word.
+func Decode(w uint32) (Inst, error) {
+	op := Op(w >> 26)
+	if !op.Valid() {
+		return Inst{}, fmt.Errorf("isa: invalid opcode %d in word %#08x", uint32(op), w)
+	}
+	in := Inst{Op: op}
+	a := Reg(w >> 21 & 31)
+	b := Reg(w >> 16 & 31)
+	c := Reg(w >> 11 & 31)
+	switch op.Format() {
+	case FmtNone:
+	case FmtR:
+		in.Rd, in.Rs1, in.Rs2 = a, b, c
+	case FmtI, FmtLoad, FmtJalr:
+		in.Rd, in.Rs1, in.Imm = a, b, signExtend(w&immMask16, 16)
+	case FmtImmSh:
+		in.Rd, in.Sh, in.Imm = a, uint8(b)&3, int32(w&immMask16)
+	case FmtStore:
+		in.Rs2, in.Rs1, in.Imm = a, b, signExtend(w&immMask16, 16)
+	case FmtBranch:
+		in.Rs1, in.Rs2, in.Imm = a, b, signExtend(w&immMask16, 16)
+	case FmtJal:
+		in.Rd, in.Imm = a, signExtend(w&immMask21, 21)
+	}
+	return in, nil
+}
+
+// Dests returns the destination register, or (Zero, false) if the
+// instruction writes no register (stores, branches, writes to R0).
+func (in Inst) Dest() (Reg, bool) {
+	switch in.Op.Format() {
+	case FmtR, FmtI, FmtImmSh, FmtLoad, FmtJal, FmtJalr:
+		if in.Rd != Zero {
+			return in.Rd, true
+		}
+	}
+	return Zero, false
+}
+
+// Sources returns the architectural source registers read by the
+// instruction. R0 sources are included (they read as zero).
+func (in Inst) Sources() []Reg {
+	switch in.Op.Format() {
+	case FmtR:
+		return []Reg{in.Rs1, in.Rs2}
+	case FmtI, FmtLoad, FmtJalr:
+		return []Reg{in.Rs1}
+	case FmtImmSh:
+		if in.Op == OpMovk {
+			return []Reg{in.Rd} // MOVK read-modify-writes rd
+		}
+		return nil
+	case FmtStore:
+		return []Reg{in.Rs1, in.Rs2}
+	case FmtBranch:
+		return []Reg{in.Rs1, in.Rs2}
+	}
+	return nil
+}
+
+// String disassembles the instruction.
+func (in Inst) String() string {
+	switch in.Op.Format() {
+	case FmtNone:
+		return in.Op.String()
+	case FmtR:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case FmtI:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case FmtImmSh:
+		return fmt.Sprintf("%s %s, %d, %d", in.Op, in.Rd, in.Imm, in.Sh)
+	case FmtLoad:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Rs1)
+	case FmtStore:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rs2, in.Imm, in.Rs1)
+	case FmtBranch:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rs1, in.Rs2, in.Imm)
+	case FmtJal:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.Rd, in.Imm)
+	case FmtJalr:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Rs1)
+	}
+	return "invalid"
+}

@@ -1,0 +1,272 @@
+// Package isa defines the 64-bit RISC instruction set executed by both the
+// architectural (functional) simulator and the cycle-level pipeline model.
+//
+// The ISA is deliberately MIPS-like (the paper's simulator modeled a 64-bit
+// MIPS pipeline): 32 general-purpose 64-bit registers with R0 hardwired to
+// zero, subword loads and stores of 1, 2, 4, and 8 bytes, compare-and-branch
+// instructions, and jump-and-link. All instructions encode to a fixed 32-bit
+// word so that the instruction cache and fetch bandwidth can be modeled
+// realistically.
+//
+// Memory accesses must be naturally aligned (address % size == 0). This
+// guarantees that no access crosses an aligned 8-byte word, which is the
+// granularity of both the store forwarding cache and the memory
+// disambiguation table.
+package isa
+
+import "fmt"
+
+// Reg names one of the 32 architectural registers. R0 reads as zero and
+// writes to it are discarded.
+type Reg uint8
+
+// NumRegs is the number of architectural registers.
+const NumRegs = 32
+
+// Zero is the hardwired-zero register.
+const Zero Reg = 0
+
+// LinkReg is the conventional link register written by JAL/JALR in the
+// assembler's `call` pseudo-instruction.
+const LinkReg Reg = 31
+
+func (r Reg) String() string { return fmt.Sprintf("r%d", uint8(r)) }
+
+// Op is an operation code.
+type Op uint8
+
+// Operation codes. The numeric values are the 6-bit opcodes used in the
+// binary encoding; they must not exceed 63.
+const (
+	OpInvalid Op = iota
+
+	// R-type register-register ALU operations: rd <- rs1 op rs2.
+	OpAdd
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpSll
+	OpSrl
+	OpSra
+	OpSlt
+	OpSltu
+	OpMul
+	OpDiv
+	OpRem
+
+	// I-type register-immediate ALU operations: rd <- rs1 op simm16.
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpSlli
+	OpSrli
+	OpSrai
+	OpSlti
+
+	// Wide-constant construction: rd <- imm16 << (16*sh)   (OpMovz)
+	//                             rd[16*sh+:16] <- imm16   (OpMovk)
+	OpMovz
+	OpMovk
+
+	// Loads: rd <- mem[rs1 + simm16], sign- or zero-extended.
+	OpLb
+	OpLbu
+	OpLh
+	OpLhu
+	OpLw
+	OpLwu
+	OpLd
+
+	// Stores: mem[rs1 + simm16] <- rs2 (low 1/2/4/8 bytes).
+	OpSb
+	OpSh
+	OpSw
+	OpSd
+
+	// Conditional branches: if rs1 cmp rs2, PC <- PC + 4 + simm16*4.
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	OpBltu
+	OpBgeu
+
+	// Jumps. JAL: rd <- PC+4; PC <- PC + 4 + simm21*4.
+	// JALR: rd <- PC+4; PC <- (rs1 + simm16) &^ 3.
+	OpJal
+	OpJalr
+
+	// HALT stops the machine. NOP does nothing.
+	OpHalt
+	OpNop
+
+	numOps
+)
+
+// Format describes how an instruction's operand fields are used.
+type Format uint8
+
+const (
+	FmtNone   Format = iota // HALT, NOP
+	FmtR                    // rd, rs1, rs2
+	FmtI                    // rd, rs1, imm16
+	FmtImmSh                // rd, imm16, shift (MOVZ/MOVK)
+	FmtLoad                 // rd, imm16(rs1)
+	FmtStore                // rs2, imm16(rs1)   [value register, base register]
+	FmtBranch               // rs1, rs2, imm16 (instruction-relative offset)
+	FmtJal                  // rd, imm21 (instruction-relative offset)
+	FmtJalr                 // rd, rs1, imm16
+)
+
+// Class is a coarse functional classification used by the scheduler to pick
+// an execution latency and by the memory unit to route instructions.
+type Class uint8
+
+const (
+	ClassALU Class = iota
+	ClassMul
+	ClassDiv
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassJump
+	ClassHalt
+	ClassNop
+)
+
+type opInfo struct {
+	name   string
+	format Format
+	class  Class
+	size   uint8 // memory access size in bytes (loads/stores)
+	signed bool  // sign-extend (loads) / signed compare (branches, slt)
+}
+
+var opTable = [numOps]opInfo{
+	OpInvalid: {"invalid", FmtNone, ClassNop, 0, false},
+
+	OpAdd:  {"add", FmtR, ClassALU, 0, true},
+	OpSub:  {"sub", FmtR, ClassALU, 0, true},
+	OpAnd:  {"and", FmtR, ClassALU, 0, false},
+	OpOr:   {"or", FmtR, ClassALU, 0, false},
+	OpXor:  {"xor", FmtR, ClassALU, 0, false},
+	OpSll:  {"sll", FmtR, ClassALU, 0, false},
+	OpSrl:  {"srl", FmtR, ClassALU, 0, false},
+	OpSra:  {"sra", FmtR, ClassALU, 0, true},
+	OpSlt:  {"slt", FmtR, ClassALU, 0, true},
+	OpSltu: {"sltu", FmtR, ClassALU, 0, false},
+	OpMul:  {"mul", FmtR, ClassMul, 0, true},
+	OpDiv:  {"div", FmtR, ClassDiv, 0, true},
+	OpRem:  {"rem", FmtR, ClassDiv, 0, true},
+
+	OpAddi: {"addi", FmtI, ClassALU, 0, true},
+	OpAndi: {"andi", FmtI, ClassALU, 0, false},
+	OpOri:  {"ori", FmtI, ClassALU, 0, false},
+	OpXori: {"xori", FmtI, ClassALU, 0, false},
+	OpSlli: {"slli", FmtI, ClassALU, 0, false},
+	OpSrli: {"srli", FmtI, ClassALU, 0, false},
+	OpSrai: {"srai", FmtI, ClassALU, 0, true},
+	OpSlti: {"slti", FmtI, ClassALU, 0, true},
+
+	OpMovz: {"movz", FmtImmSh, ClassALU, 0, false},
+	OpMovk: {"movk", FmtImmSh, ClassALU, 0, false},
+
+	OpLb:  {"lb", FmtLoad, ClassLoad, 1, true},
+	OpLbu: {"lbu", FmtLoad, ClassLoad, 1, false},
+	OpLh:  {"lh", FmtLoad, ClassLoad, 2, true},
+	OpLhu: {"lhu", FmtLoad, ClassLoad, 2, false},
+	OpLw:  {"lw", FmtLoad, ClassLoad, 4, true},
+	OpLwu: {"lwu", FmtLoad, ClassLoad, 4, false},
+	OpLd:  {"ld", FmtLoad, ClassLoad, 8, true},
+
+	OpSb: {"sb", FmtStore, ClassStore, 1, false},
+	OpSh: {"sh", FmtStore, ClassStore, 2, false},
+	OpSw: {"sw", FmtStore, ClassStore, 4, false},
+	OpSd: {"sd", FmtStore, ClassStore, 8, false},
+
+	OpBeq:  {"beq", FmtBranch, ClassBranch, 0, true},
+	OpBne:  {"bne", FmtBranch, ClassBranch, 0, true},
+	OpBlt:  {"blt", FmtBranch, ClassBranch, 0, true},
+	OpBge:  {"bge", FmtBranch, ClassBranch, 0, true},
+	OpBltu: {"bltu", FmtBranch, ClassBranch, 0, false},
+	OpBgeu: {"bgeu", FmtBranch, ClassBranch, 0, false},
+
+	OpJal:  {"jal", FmtJal, ClassJump, 0, false},
+	OpJalr: {"jalr", FmtJalr, ClassJump, 0, false},
+
+	OpHalt: {"halt", FmtNone, ClassHalt, 0, false},
+	OpNop:  {"nop", FmtNone, ClassNop, 0, false},
+}
+
+// Valid reports whether op is a defined operation.
+func (op Op) Valid() bool { return op > OpInvalid && op < numOps }
+
+func (op Op) String() string {
+	if op < numOps {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Format returns the operand format of op.
+func (op Op) Format() Format {
+	if op < numOps {
+		return opTable[op].format
+	}
+	return FmtNone
+}
+
+// Class returns the functional class of op.
+func (op Op) Class() Class {
+	if op < numOps {
+		return opTable[op].class
+	}
+	return ClassNop
+}
+
+// MemSize returns the access size in bytes for loads and stores, 0 otherwise.
+func (op Op) MemSize() int {
+	if op < numOps {
+		return int(opTable[op].size)
+	}
+	return 0
+}
+
+// Signed reports whether op sign-extends its load result or uses signed
+// comparison.
+func (op Op) Signed() bool {
+	if op < numOps {
+		return opTable[op].signed
+	}
+	return false
+}
+
+// IsLoad reports whether op reads data memory.
+func (op Op) IsLoad() bool { return op.Class() == ClassLoad }
+
+// IsStore reports whether op writes data memory.
+func (op Op) IsStore() bool { return op.Class() == ClassStore }
+
+// IsMem reports whether op accesses data memory.
+func (op Op) IsMem() bool { return op.IsLoad() || op.IsStore() }
+
+// IsBranch reports whether op is a conditional branch.
+func (op Op) IsBranch() bool { return op.Class() == ClassBranch }
+
+// IsJump reports whether op is an unconditional control transfer.
+func (op Op) IsJump() bool { return op.Class() == ClassJump }
+
+// IsControl reports whether op can redirect the PC.
+func (op Op) IsControl() bool { return op.IsBranch() || op.IsJump() }
+
+// OpByName returns the operation with the given mnemonic.
+func OpByName(name string) (Op, bool) {
+	for op := Op(1); op < numOps; op++ {
+		if opTable[op].name == name {
+			return op, true
+		}
+	}
+	return OpInvalid, false
+}

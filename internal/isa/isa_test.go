@@ -1,0 +1,194 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpTable(t *testing.T) {
+	for op := Op(1); op < numOps; op++ {
+		if !op.Valid() {
+			t.Errorf("%v should be valid", op)
+		}
+		if op.String() == "" || op.String() == "invalid" {
+			t.Errorf("op %d has no name", op)
+		}
+		got, ok := OpByName(op.String())
+		if !ok || got != op {
+			t.Errorf("OpByName(%q) = %v, %v", op.String(), got, ok)
+		}
+	}
+	if Op(0).Valid() || Op(numOps).Valid() {
+		t.Error("invalid ops reported valid")
+	}
+	if _, ok := OpByName("frobnicate"); ok {
+		t.Error("OpByName accepted nonsense")
+	}
+}
+
+func TestClassification(t *testing.T) {
+	cases := []struct {
+		op                  Op
+		load, store, branch bool
+		size                int
+		signed              bool
+	}{
+		{OpLb, true, false, false, 1, true},
+		{OpLbu, true, false, false, 1, false},
+		{OpLh, true, false, false, 2, true},
+		{OpLwu, true, false, false, 4, false},
+		{OpLd, true, false, false, 8, true},
+		{OpSb, false, true, false, 1, false},
+		{OpSd, false, true, false, 8, false},
+		{OpBeq, false, false, true, 0, true},
+		{OpBltu, false, false, true, 0, false},
+		{OpAdd, false, false, false, 0, true},
+	}
+	for _, c := range cases {
+		if c.op.IsLoad() != c.load || c.op.IsStore() != c.store || c.op.IsBranch() != c.branch {
+			t.Errorf("%v misclassified", c.op)
+		}
+		if c.op.MemSize() != c.size {
+			t.Errorf("%v size %d, want %d", c.op, c.op.MemSize(), c.size)
+		}
+		if c.op.Signed() != c.signed {
+			t.Errorf("%v signedness wrong", c.op)
+		}
+		if c.op.IsMem() != (c.load || c.store) {
+			t.Errorf("%v IsMem wrong", c.op)
+		}
+	}
+	if !OpJal.IsJump() || !OpJalr.IsJump() || OpBeq.IsJump() {
+		t.Error("jump classification wrong")
+	}
+	if !OpJal.IsControl() || !OpBne.IsControl() || OpAdd.IsControl() {
+		t.Error("control classification wrong")
+	}
+}
+
+// randInst builds a random well-formed instruction for roundtrip testing.
+func randInst(r *rand.Rand) Inst {
+	for {
+		op := Op(1 + r.Intn(int(numOps)-1))
+		in := Inst{Op: op}
+		switch op.Format() {
+		case FmtNone:
+		case FmtR:
+			in.Rd = Reg(r.Intn(32))
+			in.Rs1 = Reg(r.Intn(32))
+			in.Rs2 = Reg(r.Intn(32))
+		case FmtI, FmtLoad, FmtJalr:
+			in.Rd = Reg(r.Intn(32))
+			in.Rs1 = Reg(r.Intn(32))
+			in.Imm = int32(r.Intn(1<<16) - 1<<15)
+		case FmtImmSh:
+			in.Rd = Reg(r.Intn(32))
+			in.Imm = int32(r.Intn(1 << 16))
+			in.Sh = uint8(r.Intn(4))
+		case FmtStore, FmtBranch:
+			in.Rs1 = Reg(r.Intn(32))
+			in.Rs2 = Reg(r.Intn(32))
+			in.Imm = int32(r.Intn(1<<16) - 1<<15)
+		case FmtJal:
+			in.Rd = Reg(r.Intn(32))
+			in.Imm = int32(r.Intn(1<<21) - 1<<20)
+		}
+		return in
+	}
+}
+
+// Property: Decode(Encode(inst)) is the identity on well-formed instructions.
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		in := randInst(r)
+		w := in.Encode()
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("decode(%v = %#08x): %v", in, w, err)
+		}
+		if got != in {
+			t.Fatalf("roundtrip: %+v -> %#08x -> %+v", in, w, got)
+		}
+	}
+}
+
+// Property: decoding any 32-bit word either fails or re-encodes to a word
+// that decodes to the same instruction (encode/decode stability).
+func TestDecodeStability(t *testing.T) {
+	f := func(w uint32) bool {
+		in, err := Decode(w)
+		if err != nil {
+			return true
+		}
+		in2, err := Decode(in.Encode())
+		return err == nil && in2 == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeInvalidOpcode(t *testing.T) {
+	if _, err := Decode(uint32(numOps) << 26); err == nil {
+		t.Error("expected error for invalid opcode")
+	}
+}
+
+func TestDestAndSources(t *testing.T) {
+	if d, ok := (Inst{Op: OpAdd, Rd: 3, Rs1: 1, Rs2: 2}).Dest(); !ok || d != 3 {
+		t.Error("add dest wrong")
+	}
+	if _, ok := (Inst{Op: OpAdd, Rd: Zero}).Dest(); ok {
+		t.Error("write to r0 must report no destination")
+	}
+	if _, ok := (Inst{Op: OpSd, Rs1: 1, Rs2: 2}).Dest(); ok {
+		t.Error("store has no destination")
+	}
+	if s := (Inst{Op: OpSd, Rs1: 1, Rs2: 2}).Sources(); len(s) != 2 || s[0] != 1 || s[1] != 2 {
+		t.Errorf("store sources %v", s)
+	}
+	if s := (Inst{Op: OpMovk, Rd: 7}).Sources(); len(s) != 1 || s[0] != 7 {
+		t.Errorf("movk must source its destination, got %v", s)
+	}
+	if s := (Inst{Op: OpMovz, Rd: 7}).Sources(); len(s) != 0 {
+		t.Errorf("movz has no sources, got %v", s)
+	}
+	if s := (Inst{Op: OpJalr, Rd: 1, Rs1: 31}).Sources(); len(s) != 1 || s[0] != 31 {
+		t.Errorf("jalr sources %v", s)
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}, "add r1, r2, r3"},
+		{Inst{Op: OpAddi, Rd: 1, Rs1: 2, Imm: -5}, "addi r1, r2, -5"},
+		{Inst{Op: OpLd, Rd: 4, Rs1: 5, Imm: 16}, "ld r4, 16(r5)"},
+		{Inst{Op: OpSw, Rs2: 6, Rs1: 7, Imm: -8}, "sw r6, -8(r7)"},
+		{Inst{Op: OpBeq, Rs1: 1, Rs2: 2, Imm: 12}, "beq r1, r2, 12"},
+		{Inst{Op: OpHalt}, "halt"},
+		{Inst{Op: OpJal, Rd: 31, Imm: -3}, "jal r31, -3"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestInvalidOpQueries(t *testing.T) {
+	bogus := Op(250)
+	if bogus.Format() != FmtNone || bogus.Class() != ClassNop {
+		t.Error("invalid op format/class defaults wrong")
+	}
+	if bogus.MemSize() != 0 || bogus.Signed() {
+		t.Error("invalid op memsize/signed defaults wrong")
+	}
+	if s := bogus.String(); s != "op(250)" {
+		t.Errorf("invalid op String %q", s)
+	}
+}

@@ -1,0 +1,191 @@
+package mem
+
+import "fmt"
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	SizeBytes int // total capacity
+	Ways      int
+	LineBytes int
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c CacheConfig) Sets() int { return c.SizeBytes / (c.Ways * c.LineBytes) }
+
+// Validate checks that the geometry is consistent and power-of-two sized.
+func (c CacheConfig) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("mem: non-positive cache geometry %+v", c)
+	}
+	if c.SizeBytes%(c.Ways*c.LineBytes) != 0 {
+		return fmt.Errorf("mem: size %d not divisible by ways*line %d", c.SizeBytes, c.Ways*c.LineBytes)
+	}
+	sets := c.Sets()
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("mem: set count %d not a power of two", sets)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("mem: line size %d not a power of two", c.LineBytes)
+	}
+	return nil
+}
+
+type cacheLine struct {
+	tag   uint64
+	valid bool
+	lru   uint64 // last-touch stamp
+}
+
+// Cache is a tag-only set-associative cache with true-LRU replacement. Data
+// contents live in the Sparse backing memory; Cache models only hit/miss
+// state for the latency model.
+type Cache struct {
+	cfg    CacheConfig
+	sets   int
+	lineSh uint
+	lines  []cacheLine // sets*ways, row-major by set
+	stamp  uint64
+	Hits   uint64
+	Misses uint64
+}
+
+// NewCache builds a cache with the given geometry.
+func NewCache(cfg CacheConfig) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sh := uint(0)
+	for 1<<sh < cfg.LineBytes {
+		sh++
+	}
+	return &Cache{
+		cfg:    cfg,
+		sets:   cfg.Sets(),
+		lineSh: sh,
+		lines:  make([]cacheLine, cfg.Sets()*cfg.Ways),
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Access touches the line containing addr, allocating it on a miss, and
+// reports whether it hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.stamp++
+	block := addr >> c.lineSh
+	set := int(block) & (c.sets - 1)
+	tag := block >> uint(log2(c.sets))
+	base := set * c.cfg.Ways
+	victim := base
+	for i := base; i < base+c.cfg.Ways; i++ {
+		ln := &c.lines[i]
+		if ln.valid && ln.tag == tag {
+			ln.lru = c.stamp
+			c.Hits++
+			return true
+		}
+		if !ln.valid {
+			victim = i
+		} else if c.lines[victim].valid && ln.lru < c.lines[victim].lru {
+			victim = i
+		}
+	}
+	c.lines[victim] = cacheLine{tag: tag, valid: true, lru: c.stamp}
+	c.Misses++
+	return false
+}
+
+// Probe reports whether addr would hit, without changing cache state.
+func (c *Cache) Probe(addr uint64) bool {
+	block := addr >> c.lineSh
+	set := int(block) & (c.sets - 1)
+	tag := block >> uint(log2(c.sets))
+	base := set * c.cfg.Ways
+	for i := base; i < base+c.cfg.Ways; i++ {
+		if c.lines[i].valid && c.lines[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+func log2(n int) int {
+	b := 0
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+// HierarchyConfig describes the full cache hierarchy and its latencies, in
+// the form of the paper's Figure 4: L1 hit time plus additive miss
+// penalties at each level.
+type HierarchyConfig struct {
+	L1I CacheConfig
+	L1D CacheConfig
+	L2  CacheConfig
+
+	L1HitCycles  int // cycles for an L1 hit (data available)
+	L1MissCycles int // additional cycles when L1 misses and L2 hits
+	L2MissCycles int // additional cycles when L2 also misses
+}
+
+// DefaultHierarchy returns the paper's Figure 4 memory hierarchy:
+// 8 KB 2-way 128 B-line L1 I-cache (10-cycle miss), 8 KB 4-way 64 B-line L1
+// D-cache (10-cycle miss), 512 KB 8-way 128 B-line L2 (100-cycle miss).
+func DefaultHierarchy() HierarchyConfig {
+	return HierarchyConfig{
+		L1I:          CacheConfig{SizeBytes: 8 << 10, Ways: 2, LineBytes: 128},
+		L1D:          CacheConfig{SizeBytes: 8 << 10, Ways: 4, LineBytes: 64},
+		L2:           CacheConfig{SizeBytes: 512 << 10, Ways: 8, LineBytes: 128},
+		L1HitCycles:  2,
+		L1MissCycles: 10,
+		L2MissCycles: 100,
+	}
+}
+
+// Hierarchy is the instantiated cache hierarchy.
+type Hierarchy struct {
+	cfg HierarchyConfig
+	L1I *Cache
+	L1D *Cache
+	L2  *Cache
+}
+
+// NewHierarchy instantiates the hierarchy.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{
+		cfg: cfg,
+		L1I: NewCache(cfg.L1I),
+		L1D: NewCache(cfg.L1D),
+		L2:  NewCache(cfg.L2),
+	}
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// FetchLatency models an instruction fetch of the line containing addr and
+// returns its latency in cycles (0 for an L1 I hit: fetch is pipelined).
+func (h *Hierarchy) FetchLatency(addr uint64) int {
+	if h.L1I.Access(addr) {
+		return 0
+	}
+	if h.L2.Access(addr) {
+		return h.cfg.L1MissCycles
+	}
+	return h.cfg.L1MissCycles + h.cfg.L2MissCycles
+}
+
+// DataLatency models a data access (load or committed store) to addr and
+// returns the cycles until the data is available.
+func (h *Hierarchy) DataLatency(addr uint64) int {
+	if h.L1D.Access(addr) {
+		return h.cfg.L1HitCycles
+	}
+	if h.L2.Access(addr) {
+		return h.cfg.L1HitCycles + h.cfg.L1MissCycles
+	}
+	return h.cfg.L1HitCycles + h.cfg.L1MissCycles + h.cfg.L2MissCycles
+}

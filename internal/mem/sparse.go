@@ -1,0 +1,89 @@
+// Package mem provides the memory substrate shared by the functional and
+// cycle-level simulators: a sparse byte-addressable main memory and a
+// tag-only cache hierarchy timing model (L1 I, L1 D, unified L2) with the
+// paper's Figure 4 geometry and miss latencies.
+package mem
+
+const pageShift = 12
+const pageSize = 1 << pageShift
+
+// Sparse is a sparse 64-bit byte-addressable memory. Unmapped bytes read as
+// zero. It is not safe for concurrent use.
+type Sparse struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// NewSparse returns an empty memory.
+func NewSparse() *Sparse {
+	return &Sparse{pages: make(map[uint64]*[pageSize]byte)}
+}
+
+func (m *Sparse) page(addr uint64, create bool) *[pageSize]byte {
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil && create {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// ByteAt returns the byte at addr.
+func (m *Sparse) ByteAt(addr uint64) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&(pageSize-1)]
+}
+
+// SetByte stores one byte at addr.
+func (m *Sparse) SetByte(addr uint64, v byte) {
+	m.page(addr, true)[addr&(pageSize-1)] = v
+}
+
+// Read returns size bytes at addr as a little-endian unsigned integer.
+// size must be 1, 2, 4, or 8 and the access must not wrap the address space.
+func (m *Sparse) Read(addr uint64, size int) uint64 {
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(m.ByteAt(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write stores the low size bytes of v at addr, little-endian.
+func (m *Sparse) Write(addr uint64, size int, v uint64) {
+	for i := 0; i < size; i++ {
+		m.SetByte(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// ReadInto fills dst with the bytes starting at addr.
+func (m *Sparse) ReadInto(addr uint64, dst []byte) {
+	for i := range dst {
+		dst[i] = m.ByteAt(addr + uint64(i))
+	}
+}
+
+// SetBytes stores src at addr.
+func (m *Sparse) SetBytes(addr uint64, src []byte) {
+	for i, b := range src {
+		m.SetByte(addr+uint64(i), b)
+	}
+}
+
+// Clone returns a deep copy of the memory. The functional golden model and
+// the timing pipeline each run against their own copy of the loaded image.
+func (m *Sparse) Clone() *Sparse {
+	c := NewSparse()
+	for pn, p := range m.pages {
+		cp := new([pageSize]byte)
+		*cp = *p
+		c.pages[pn] = cp
+	}
+	return c
+}
+
+// Pages returns the number of mapped pages (for tests).
+func (m *Sparse) Pages() int { return len(m.pages) }

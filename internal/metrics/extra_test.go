@@ -1,0 +1,33 @@
+package metrics
+
+import "testing"
+
+func TestSearchWorkPerMemOp(t *testing.T) {
+	s := Stats{
+		RetiredLoads:     50,
+		RetiredStores:    50,
+		SearchEntriesLSQ: 1000,
+	}
+	if got := s.SearchWorkPerMemOp(); got != 10 {
+		t.Errorf("LSQ search work %v", got)
+	}
+	s = Stats{
+		RetiredLoads:     100,
+		SearchEntriesMDT: 300,
+		SearchEntriesSFC: 200,
+	}
+	if got := s.SearchWorkPerMemOp(); got != 5 {
+		t.Errorf("MDT+SFC search work %v", got)
+	}
+	var zero Stats
+	if zero.SearchWorkPerMemOp() != 0 {
+		t.Error("zero denominator")
+	}
+}
+
+func TestAvgOccupancy(t *testing.T) {
+	s := Stats{Cycles: 4, OccupancySum: 100}
+	if s.AvgOccupancy() != 25 {
+		t.Errorf("occupancy %v", s.AvgOccupancy())
+	}
+}

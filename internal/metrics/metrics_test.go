@@ -1,0 +1,61 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRates(t *testing.T) {
+	s := Stats{
+		Cycles:            1000,
+		Retired:           2500,
+		RetiredLoads:      400,
+		RetiredStores:     100,
+		TrueViolations:    3,
+		AntiViolations:    1,
+		OutputViolations:  1,
+		ReplaySFCConflict: 50,
+		ReplayMDTConflict: 40,
+		ReplayCorrupt:     80,
+		CondBranches:      200,
+		Mispredicts:       10,
+	}
+	if got := s.IPC(); got != 2.5 {
+		t.Errorf("IPC %v", got)
+	}
+	if got := s.ViolationRate(); got != 0.01 {
+		t.Errorf("ViolationRate %v", got)
+	}
+	if got := s.AntiOutputViolationRate(); got != 0.004 {
+		t.Errorf("AntiOutputViolationRate %v", got)
+	}
+	if got := s.StoreSFCConflictRate(); got != 0.5 {
+		t.Errorf("StoreSFCConflictRate %v", got)
+	}
+	if got := s.LoadMDTConflictRate(); got != 0.1 {
+		t.Errorf("LoadMDTConflictRate %v", got)
+	}
+	if got := s.LoadCorruptionRate(); got != 0.2 {
+		t.Errorf("LoadCorruptionRate %v", got)
+	}
+	if got := s.MispredictRate(); got != 0.05 {
+		t.Errorf("MispredictRate %v", got)
+	}
+}
+
+func TestZeroDenominators(t *testing.T) {
+	var s Stats
+	if s.IPC() != 0 || s.ViolationRate() != 0 || s.StoreSFCConflictRate() != 0 ||
+		s.LoadMDTConflictRate() != 0 || s.LoadCorruptionRate() != 0 ||
+		s.MispredictRate() != 0 || s.AvgOccupancy() != 0 {
+		t.Error("zero-denominator rates must be zero")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := Stats{Cycles: 10, Retired: 20}
+	out := s.String()
+	if !strings.Contains(out, "IPC=2.000") {
+		t.Errorf("String() = %q", out)
+	}
+}

@@ -1,0 +1,206 @@
+// Package pipeline implements the cycle-level out-of-order superscalar
+// processor model that hosts either memory subsystem: the paper's MDT + SFC
+// + store FIFO, or the idealized LSQ baseline.
+//
+// The pipeline follows Figure 1: fetch → decode → memory dependence
+// prediction → rename → schedule → memory unit / function units → retire.
+// It models Alpha-style renaming with a register-alias-table checkpoint per
+// instruction, wrong-path execution past predicted branches, a simple
+// instruction re-execution mechanism ("the memory unit can drop an executing
+// load or store and place the instruction back on the scheduler's ready
+// list"), and in-order retirement validated against the architectural
+// golden-model trace.
+package pipeline
+
+import (
+	"fmt"
+
+	"sfcmdt/internal/bpred"
+	"sfcmdt/internal/core"
+	"sfcmdt/internal/mem"
+)
+
+// MemSysKind selects the memory subsystem.
+type MemSysKind uint8
+
+const (
+	// MemLSQ is the baseline idealized load/store queue.
+	MemLSQ MemSysKind = iota
+	// MemMDTSFC is the paper's MDT + SFC + store FIFO.
+	MemMDTSFC
+	// MemValueReplay is the §4 related-work baseline (Cain & Lipasti):
+	// no load queue; every load re-executes against the cache at
+	// retirement and a value mismatch triggers recovery.
+	MemValueReplay
+	// MemMVSFC is the §4 multiversion alternative: the MDT (true
+	// violations only) paired with a multi-version SFC that renames
+	// in-flight stores, making anti and output violations impossible.
+	MemMVSFC
+)
+
+func (k MemSysKind) String() string {
+	switch k {
+	case MemLSQ:
+		return "lsq"
+	case MemMDTSFC:
+		return "mdt+sfc"
+	case MemValueReplay:
+		return "value-replay"
+	case MemMVSFC:
+		return "mdt+mvsfc"
+	}
+	return "unknown"
+}
+
+// RecoveryOptions selects the §2.4 recovery-policy optimizations.
+type RecoveryOptions struct {
+	// SingleLoadOpt (§2.4.1): on a true violation with exactly one
+	// completed unretired load buffered, flush from the load rather than
+	// from the completing store.
+	SingleLoadOpt bool
+	// CorruptOnOutput (§2.4.2): on an output violation, poison the SFC
+	// entry instead of flushing the pipeline.
+	CorruptOnOutput bool
+	// PreciseCorruption marks the SFC corrupt on a partial flush only when
+	// the flush actually canceled a completed, unretired store (an
+	// idealization; the paper's hardware corrupts on every partial flush).
+	PreciseCorruption bool
+}
+
+// Config describes one processor configuration.
+type Config struct {
+	Name string
+
+	// Widths and capacities (Figure 4).
+	Width         int // fetch/dispatch/retire width (instructions/cycle)
+	FetchBranches int // max conditional branches fetched per cycle
+	ROBSize       int // reorder buffer = scheduling window entries
+	NumFUs        int // identical, fully pipelined function units (issue width)
+	MemPorts      int // memory-unit issues per cycle (0 = unlimited, the
+	// paper's idealization); a finite value makes replay storms consume
+	// real issue bandwidth
+	FetchQueueCap int // fetched-but-not-dispatched buffer
+	FrontEndDepth int // cycles from fetch to earliest dispatch
+
+	// Latencies.
+	MispredictPenalty int // redirect-to-fetch penalty
+	IntLat, MulLat    int
+	DivLat, AGULat    int
+	BypassLat         int // LSQ single-cycle store-to-load bypass
+	SFCTagCheckExtra  int // +1 cycle store latency with the SFC (§3)
+	MDTViolExtra      int // +1 cycle violation penalty with the MDT (§3)
+
+	// Memory subsystem.
+	MemSys       MemSysKind
+	LSQ          core.LSQConfig
+	MDT          core.MDTConfig
+	SFC          core.SFCConfig
+	MVSFC        core.MVSFCConfig
+	StoreFIFOCap int
+
+	// ReplayOnPartial drops loads that partially match the SFC instead of
+	// merging the missing bytes from the cache (§2.3 allows either).
+	ReplayOnPartial bool
+
+	// SVWFilter enables the §4 search-filtering idea via a
+	// store-vulnerability-window test: a load that is older than every
+	// unexecuted store cannot be a true-violation victim, so it skips MDT
+	// allocation entirely, cutting MDT pressure ("higher performance from
+	// a much smaller MDT"). MDT/SFC subsystem only.
+	SVWFilter bool
+
+	Recovery RecoveryOptions
+
+	// Predictors.
+	Pred  core.PredictorConfig
+	BPred bpred.Config
+
+	// Memory hierarchy.
+	Hier mem.HierarchyConfig
+
+	// Run limits.
+	MaxInsts  uint64 // dynamic correct-path instruction budget
+	MaxCycles uint64 // deadlock guard; 0 = derived from MaxInsts
+
+	// DisableValidation turns off golden-trace retirement validation
+	// (never needed in practice; kept for timing micro-experiments).
+	DisableValidation bool
+}
+
+// Validate fills defaults and checks consistency.
+func (c *Config) Validate() error {
+	if c.Width <= 0 || c.ROBSize <= 0 {
+		return fmt.Errorf("pipeline: width %d / ROB %d must be positive", c.Width, c.ROBSize)
+	}
+	if c.NumFUs <= 0 {
+		c.NumFUs = c.Width
+	}
+	if c.FetchBranches <= 0 {
+		c.FetchBranches = 1
+	}
+	if c.FetchQueueCap <= 0 {
+		c.FetchQueueCap = 4 * c.Width
+	}
+	if c.FrontEndDepth <= 0 {
+		c.FrontEndDepth = 3
+	}
+	if c.MispredictPenalty <= 0 {
+		c.MispredictPenalty = 8
+	}
+	if c.IntLat <= 0 {
+		c.IntLat = 1
+	}
+	if c.MulLat <= 0 {
+		c.MulLat = 4
+	}
+	if c.DivLat <= 0 {
+		c.DivLat = 12
+	}
+	if c.AGULat <= 0 {
+		c.AGULat = 1
+	}
+	if c.BypassLat <= 0 {
+		c.BypassLat = 1
+	}
+	switch c.MemSys {
+	case MemLSQ, MemValueReplay:
+		if err := c.LSQ.Validate(); err != nil {
+			return err
+		}
+	case MemMDTSFC:
+		if err := c.MDT.Validate(); err != nil {
+			return err
+		}
+		if err := c.SFC.Validate(); err != nil {
+			return err
+		}
+		if c.StoreFIFOCap <= 0 {
+			c.StoreFIFOCap = c.ROBSize
+		}
+	case MemMVSFC:
+		if err := c.MDT.Validate(); err != nil {
+			return err
+		}
+		if err := c.MVSFC.Validate(); err != nil {
+			return err
+		}
+		if c.StoreFIFOCap <= 0 {
+			c.StoreFIFOCap = c.ROBSize
+		}
+	default:
+		return fmt.Errorf("pipeline: unknown memory subsystem %d", c.MemSys)
+	}
+	if c.Hier.L1I.SizeBytes == 0 {
+		c.Hier = mem.DefaultHierarchy()
+	}
+	if c.BPred.Bits == 0 {
+		c.BPred = bpred.DefaultConfig()
+	}
+	if c.MaxInsts == 0 {
+		c.MaxInsts = 200_000
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 400*c.MaxInsts + 2_000_000
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+// This file documents the pipeline's cycle model in one place; the stage
+// implementations live in pipeline.go and the memory subsystems in
+// memsys.go.
+//
+// # Cycle model
+//
+// Each call to step() advances one cycle through six phases, in an order
+// chosen so same-cycle interactions resolve deterministically:
+//
+//  1. complete — completion events scheduled for this cycle fire in
+//     age order: results are written to the physical register file,
+//     branches resolve (mispredicts recover immediately), and pending
+//     memory-dependence violations trigger recovery.
+//  2. retire — up to Width completed instructions leave the ROB head in
+//     order. Each is validated field-by-field against the golden-model
+//     trace. Stores commit through the store FIFO (or LSQ) to memory;
+//     loads and stores run their MDT/SFC retirement hooks. The
+//     value-replay subsystem performs its retirement-time re-read here,
+//     before validation, and may itself trigger recovery.
+//  3. issue — the scheduler scans the ROB oldest-first and issues up to
+//     NumFUs ready instructions. Memory instructions additionally need
+//     their consumed dependence tag ready and their stall bit clear
+//     (both waived at the ROB head — the §2.2 lockup bypass). Execution
+//     is performed at issue: operands are read, addresses computed, the
+//     memory subsystem consulted, and a completion event scheduled
+//     latency cycles ahead. The memory unit may instead *drop* the
+//     instruction (structural conflict, corruption), returning it to the
+//     scheduler with its stall bit set — the paper's re-execution
+//     mechanism.
+//  4. dispatch — up to Width instructions move from the fetch queue into
+//     the ROB: memory-dependence-predictor lookup (may stall on tag-pool
+//     exhaustion), RAT checkpoint, source renaming, destination
+//     allocation, and memory-subsystem slot allocation (LSQ entries or
+//     store-FIFO slots).
+//  5. fetch — up to Width instructions per cycle from the I-cache,
+//     bounded by FetchBranches conditional branches and ended by any
+//     predicted-taken transfer. Conditional branches are predicted by
+//     gshare, with the Figure 4 oracle converting 80% of correct-path
+//     mispredictions; the speculative global history is checkpointed
+//     per instruction.
+//  6. bookkeeping — cycle counters, occupancy statistics, and the
+//     MDT/SFC fossil-reclamation bound (the oldest in-flight sequence
+//     number).
+//
+// # Correct-path tracking and wrong-path execution
+//
+// The golden trace drives two things. At fetch, the pipeline knows whether
+// it is on the correct path (each correct-path instruction carries its
+// trace index); when a prediction diverges from the trace, subsequent
+// fetches are wrong-path: they execute normally — computing garbage values,
+// touching the caches, writing the SFC — until a recovery squashes them.
+// Out-of-segment wrong-path fetch degenerates to NOPs, and wrong-path
+// memory accesses are force-aligned. At retirement, every instruction must
+// match its trace record exactly; a wrong-path instruction reaching
+// retirement, or any value mismatch, fails the run. This is the paper's
+// validation methodology and the repository's strongest invariant: an
+// unsound forwarding or disambiguation path cannot hide.
+//
+// # Recovery
+//
+// All recoveries are suffix flushes: every instruction with sequence number
+// >= the flush point is squashed (ROB suffix plus the whole fetch queue),
+// the RAT is restored from the first squashed instruction's checkpoint,
+// physical registers and dependence tags are returned, the memory
+// subsystem squashes its speculative state, and fetch redirects after the
+// penalty. For the MDT/SFC subsystem a flush is "partial" in the paper's
+// sense: the MDT is untouched and the SFC either records corruption (or a
+// flush-endpoint window), or — when no SFC-resident store survives — is
+// flushed outright.
+package pipeline

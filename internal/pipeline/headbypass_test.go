@@ -1,0 +1,53 @@
+package pipeline
+
+import (
+	"testing"
+
+	"sfcmdt/internal/prog"
+)
+
+// TestHeadBypassStoreRace is a regression test for a subtle ROB-head-bypass
+// hazard: a store executing via the head bypass leaves its bytes only in the
+// store FIFO, so a younger load issuing in the same cycle used to read stale
+// memory undetected. The fix commits head-bypass stores to memory at execute
+// and performs a read-only MDT check for already-executed younger loads.
+func TestHeadBypassStoreRace(t *testing.T) {
+	b := prog.NewBuilder("branchy")
+	buf := b.Alloc(256, 8)
+	b.La(1, buf)
+	b.Li(2, 500)
+	b.Li(3, 0)
+	b.Li(4, 12345)
+	b.Li(5, 6364136223846793005)
+	b.Li(6, 1442695040888963407)
+	b.Label("loop")
+	b.Mul(4, 4, 5)
+	b.Add(4, 4, 6)
+	b.Srli(7, 4, 33)
+	b.Andi(7, 7, 1)
+	b.Beq(7, 0, "else")
+	b.Sd(4, 0, 1)
+	b.Ld(8, 0, 1)
+	b.J("join")
+	b.Label("else")
+	b.Sd(4, 8, 1)
+	b.Ld(8, 8, 1)
+	b.Label("join")
+	b.Add(3, 3, 8)
+	b.Addi(2, 2, -1)
+	b.Bne(2, 0, "loop")
+	b.Halt()
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfigs(20_000)[0]
+	p, err := New(cfg, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

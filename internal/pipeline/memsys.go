@@ -1,0 +1,563 @@
+package pipeline
+
+import (
+	"sfcmdt/internal/core"
+	"sfcmdt/internal/seqnum"
+)
+
+// replayCause identifies why the memory unit dropped an instruction.
+type replayCause uint8
+
+const (
+	replayNone replayCause = iota
+	replaySFCConflict
+	replayMDTConflict
+	replayCorrupt
+	replayPartial
+)
+
+// memOutcome is the result of executing a load or store in the memory unit.
+type memOutcome struct {
+	replay    bool
+	cause     replayCause
+	value     uint64 // raw little-endian load bytes
+	latency   int    // cycles from issue to completion
+	violation *core.Violation
+	forwarded bool // value (fully) bypassed from an in-flight store
+}
+
+// memSystem abstracts the two memory subsystems the pipeline can host.
+type memSystem interface {
+	// canDispatch* report whether buffering resources are available;
+	// dispatch* commit the allocation (must succeed after a true can*).
+	canDispatchLoad() bool
+	canDispatchStore() bool
+	dispatchLoad(seq seqnum.Seq, pc uint64)
+	dispatchStore(seq seqnum.Seq, pc uint64)
+
+	// executeLoad and executeStore run at issue time, once the address
+	// (and, for stores, the data) is known. head marks an instruction at
+	// the head of the ROB, which bypasses the MDT and SFC (§2.2).
+	executeLoad(e *entry, head bool) memOutcome
+	executeStore(e *entry, head bool) memOutcome
+
+	// preRetireLoad runs before a load's retirement validation; a
+	// non-nil violation aborts the retirement and triggers recovery from
+	// the load itself (used by the value-replay subsystem, whose
+	// disambiguation happens at retirement).
+	preRetireLoad(e *entry) *core.Violation
+
+	// Retirement hooks. retireStore returns the (addr, size, value) to
+	// commit to the memory image.
+	retireLoad(e *entry) (freedEntries bool)
+	retireStore(e *entry) (addr uint64, size int, value uint64, freedEntries bool, err error)
+
+	// squashFrom removes speculative state for seq >= from.
+	squashFrom(from seqnum.Seq)
+
+	// onPartialFlush runs after a pipeline flush of the sequence-number
+	// window [lo, hi]. canceledSFCStore reports whether the flush
+	// squashed a store whose bytes are in the SFC; liveSFCStores is the
+	// number of surviving stores with SFC-resident bytes.
+	onPartialFlush(lo, hi seqnum.Seq, canceledSFCStore bool, liveSFCStores int)
+}
+
+// ---------------------------------------------------------------------------
+// MDT + SFC + store FIFO memory subsystem (the paper's design).
+
+type mdtSFCSystem struct {
+	p    *Pipeline
+	mdt  *core.MDT
+	sfc  *core.SFC
+	fifo *core.StoreFIFO
+}
+
+func newMDTSFCSystem(p *Pipeline) *mdtSFCSystem {
+	mdt := core.NewMDT(p.cfg.MDT)
+	mdt.SingleLoadOpt = p.cfg.Recovery.SingleLoadOpt
+	return &mdtSFCSystem{
+		p:    p,
+		mdt:  mdt,
+		sfc:  core.NewSFC(p.cfg.SFC),
+		fifo: core.NewStoreFIFO(p.cfg.StoreFIFOCap),
+	}
+}
+
+func (m *mdtSFCSystem) canDispatchLoad() bool  { return true }
+func (m *mdtSFCSystem) canDispatchStore() bool { return m.fifo.Len() < m.fifo.Cap() }
+
+func (m *mdtSFCSystem) dispatchLoad(seq seqnum.Seq, pc uint64) {}
+
+func (m *mdtSFCSystem) dispatchStore(seq seqnum.Seq, pc uint64) {
+	if !m.fifo.Dispatch(seq) {
+		panic("pipeline: store FIFO dispatch after canDispatchStore")
+	}
+}
+
+// setBound advances the MDT/SFC reclamation bound to the oldest in-flight
+// sequence number; called by the pipeline once per cycle.
+func (m *mdtSFCSystem) setBound(oldest seqnum.Seq) {
+	m.mdt.SetBound(oldest)
+	m.sfc.SetBound(oldest)
+}
+
+func (m *mdtSFCSystem) executeLoad(e *entry, head bool) memOutcome {
+	p := m.p
+	if head {
+		// ROB-head bypass (§2.2): all older stores have retired and
+		// committed, so the cache-memory hierarchy is authoritative.
+		p.stats.HeadBypassLoads++
+		lat := p.cfg.AGULat + p.hier.DataLatency(e.memAddr)
+		return memOutcome{value: p.memory.Read(e.memAddr, e.memSize), latency: lat}
+	}
+	// §4 search filtering (store-vulnerability-window test): if every
+	// older store has already executed, no later-completing older store
+	// can flag this load, so it need not occupy an MDT entry. Anti
+	// violations are still caught: the filtered load must still compare
+	// against the entry's store sequence number if one exists.
+	filtered := false
+	if p.cfg.SVWFilter {
+		if first, ok := m.fifo.FirstUnexecuted(); !ok || seqnum.Before(e.seq, first) {
+			filtered = true
+			p.stats.SVWFiltered++
+		}
+	}
+	if filtered {
+		if v := m.mdt.CheckLoadAnti(e.seq, e.pc, e.memAddr, e.memSize); v != nil {
+			return memOutcome{violation: v, latency: p.cfg.AGULat + p.cfg.IntLat}
+		}
+	} else {
+		res := m.mdt.AccessLoad(e.seq, e.pc, e.memAddr, e.memSize)
+		if res.Conflict {
+			return memOutcome{replay: true, cause: replayMDTConflict}
+		}
+		if res.Violation != nil {
+			// Anti-dependence violation: the load itself will be flushed;
+			// no value matters.
+			return memOutcome{violation: res.Violation, latency: p.cfg.AGULat + p.cfg.IntLat}
+		}
+	}
+	sres := m.sfc.LoadRead(e.memAddr, e.memSize)
+	switch sres.Status {
+	case core.SFCCorrupt:
+		m.mdt.LoadDropped(e.seq, e.memAddr, e.memSize)
+		return memOutcome{replay: true, cause: replayCorrupt}
+	case core.SFCPartial:
+		if p.cfg.ReplayOnPartial {
+			m.mdt.LoadDropped(e.seq, e.memAddr, e.memSize)
+			return memOutcome{replay: true, cause: replayPartial}
+		}
+		// Merge the missing bytes from the cache hierarchy.
+		lat := p.cfg.AGULat + p.hier.DataLatency(e.memAddr)
+		var v uint64
+		for i := 0; i < e.memSize; i++ {
+			b := sres.Data[i]
+			if sres.ValidMask&(1<<i) == 0 {
+				b = p.memory.ByteAt(e.memAddr + uint64(i))
+			}
+			v |= uint64(b) << (8 * i)
+		}
+		p.stats.SFCPartialMerges++
+		return memOutcome{value: v, latency: lat}
+	case core.SFCFull:
+		// Forwarded from the SFC; accessed in parallel with the L1, so
+		// data is available at L1-hit time regardless of cache state.
+		p.hier.DataLatency(e.memAddr) // keep cache tag state warm
+		p.stats.SFCForwards++
+		var v uint64
+		for i := 0; i < e.memSize; i++ {
+			v |= uint64(sres.Data[i]) << (8 * i)
+		}
+		return memOutcome{value: v, latency: p.cfg.AGULat + p.hier.Config().L1HitCycles, forwarded: true}
+	default: // SFCMiss
+		lat := p.cfg.AGULat + p.hier.DataLatency(e.memAddr)
+		return memOutcome{value: p.memory.Read(e.memAddr, e.memSize), latency: lat}
+	}
+}
+
+func (m *mdtSFCSystem) executeStore(e *entry, head bool) memOutcome {
+	p := m.p
+	if head {
+		p.stats.HeadBypassStores++
+		m.fifo.Execute(e.seq, e.memAddr, e.memSize, e.memVal)
+		// The bypassing store's bytes are nowhere in the SFC, so commit
+		// them to memory immediately: the store is the oldest in-flight
+		// instruction, can no longer be squashed, and retires as soon as
+		// it completes, so younger loads reading memory observe it
+		// correctly. (Retirement rewrites the same bytes, harmlessly.)
+		p.memory.Write(e.memAddr, e.memSize, e.memVal)
+		// It must still check for younger loads that executed too early
+		// with a stale value (read-only MDT probe).
+		return memOutcome{latency: p.cfg.AGULat, violation: m.mdt.CheckStoreAtHead(e.seq, e.pc, e.memAddr, e.memSize)}
+	}
+	// Probe the SFC first so a set conflict drops the store before the MDT
+	// is updated.
+	if !m.sfc.CanWrite(e.memAddr) {
+		m.sfc.StoreConflicts++
+		return memOutcome{replay: true, cause: replaySFCConflict}
+	}
+	res := m.mdt.AccessStore(e.seq, e.pc, e.memAddr, e.memSize)
+	if res.Conflict {
+		return memOutcome{replay: true, cause: replayMDTConflict}
+	}
+	out := memOutcome{latency: p.cfg.AGULat + p.cfg.SFCTagCheckExtra}
+	if res.Violation != nil {
+		if res.Violation.Kind == core.OutputViolation && p.cfg.Recovery.CorruptOnOutput {
+			// §2.4.2: poison the entry instead of flushing; the normal
+			// corruption machinery handles dependent loads. The
+			// dependence predictor is still trained.
+			m.sfc.CorruptWord(e.memAddr)
+			p.pred.RecordViolation(res.Violation.Kind, res.Violation.ProducerPC, res.Violation.ConsumerPC)
+			p.stats.OutputViolations++
+		} else {
+			out.violation = res.Violation
+		}
+	}
+	if !m.sfc.StoreWrite(e.seq, e.memAddr, e.memSize, e.memVal) {
+		panic("pipeline: SFC write failed after CanWrite")
+	}
+	e.wroteSFC = true
+	p.sfcLiveStores++
+	m.fifo.Execute(e.seq, e.memAddr, e.memSize, e.memVal)
+	return out
+}
+
+func (m *mdtSFCSystem) preRetireLoad(e *entry) *core.Violation { return nil }
+
+func (m *mdtSFCSystem) retireLoad(e *entry) bool {
+	return m.mdt.RetireLoad(e.seq, e.memAddr, e.memSize)
+}
+
+func (m *mdtSFCSystem) retireStore(e *entry) (uint64, int, uint64, bool, error) {
+	addr, size, val, err := m.fifo.Retire(e.seq)
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	freed := m.sfc.RetireStore(e.seq, addr)
+	if m.mdt.RetireStore(e.seq, addr, size) {
+		freed = true
+	}
+	return addr, size, val, freed, nil
+}
+
+func (m *mdtSFCSystem) squashFrom(from seqnum.Seq) {
+	m.fifo.SquashFrom(from)
+	// The MDT ignores partial flushes (§2.2); the SFC handles them in
+	// onPartialFlush.
+}
+
+func (m *mdtSFCSystem) onPartialFlush(lo, hi seqnum.Seq, canceledSFCStore bool, liveSFCStores int) {
+	if liveSFCStores == 0 {
+		// No completed unretired stores remain: every SFC-resident value
+		// either belongs to a retired store (already freed) or a canceled
+		// one, so the SFC can be flushed wholesale (§2.3 full-flush rule).
+		m.sfc.Flush()
+		m.p.stats.FullSFCFlushes++
+		return
+	}
+	if m.p.cfg.Recovery.PreciseCorruption && !canceledSFCStore {
+		// Idealized variant: no canceled store ever wrote the SFC, so no
+		// corruption is possible.
+		return
+	}
+	m.sfc.RecordPartialFlush(lo, hi)
+}
+
+// ---------------------------------------------------------------------------
+// Idealized LSQ memory subsystem (the baseline).
+
+type lsqSystem struct {
+	p   *Pipeline
+	lsq *core.LSQ
+}
+
+func newLSQSystem(p *Pipeline) *lsqSystem {
+	return &lsqSystem{p: p, lsq: core.NewLSQ(p.cfg.LSQ)}
+}
+
+func (m *lsqSystem) canDispatchLoad() bool  { return m.lsq.Loads() < m.lsq.Config().LoadEntries }
+func (m *lsqSystem) canDispatchStore() bool { return m.lsq.Stores() < m.lsq.Config().StoreEntries }
+
+func (m *lsqSystem) dispatchLoad(seq seqnum.Seq, pc uint64) {
+	if !m.lsq.DispatchLoad(seq, pc) {
+		panic("pipeline: LSQ load dispatch after canDispatchLoad")
+	}
+}
+
+func (m *lsqSystem) dispatchStore(seq seqnum.Seq, pc uint64) {
+	if !m.lsq.DispatchStore(seq, pc) {
+		panic("pipeline: LSQ store dispatch after canDispatchStore")
+	}
+}
+
+func (m *lsqSystem) memRead(addr uint64) byte { return m.p.memory.ByteAt(addr) }
+
+func (m *lsqSystem) executeLoad(e *entry, head bool) memOutcome {
+	p := m.p
+	res, err := m.lsq.ExecuteLoad(e.seq, e.memAddr, e.memSize, m.memRead)
+	if err != nil {
+		p.fail(err)
+		return memOutcome{}
+	}
+	lat := p.cfg.AGULat
+	if res.Forwarded {
+		lat += p.cfg.BypassLat
+		p.stats.LSQForwards++
+	} else {
+		lat += p.hier.DataLatency(e.memAddr)
+		if res.Partial {
+			p.stats.LSQPartialMerges++
+		}
+	}
+	return memOutcome{value: res.Value, latency: lat, forwarded: res.Forwarded}
+}
+
+func (m *lsqSystem) executeStore(e *entry, head bool) memOutcome {
+	p := m.p
+	viol, err := m.lsq.ExecuteStore(e.seq, e.memAddr, e.memSize, e.memVal, m.memRead)
+	if err != nil {
+		p.fail(err)
+		return memOutcome{}
+	}
+	return memOutcome{latency: p.cfg.AGULat, violation: viol}
+}
+
+func (m *lsqSystem) preRetireLoad(e *entry) *core.Violation { return nil }
+
+func (m *lsqSystem) retireLoad(e *entry) bool {
+	if err := m.lsq.RetireLoad(e.seq); err != nil {
+		m.p.fail(err)
+	}
+	return false
+}
+
+func (m *lsqSystem) retireStore(e *entry) (uint64, int, uint64, bool, error) {
+	addr, size, val, err := m.lsq.RetireStore(e.seq)
+	return addr, size, val, false, err
+}
+
+func (m *lsqSystem) squashFrom(from seqnum.Seq) { m.lsq.SquashFrom(from) }
+
+func (m *lsqSystem) onPartialFlush(seqnum.Seq, seqnum.Seq, bool, int) {}
+
+// ---------------------------------------------------------------------------
+// Value-replay memory subsystem (§4 related work, Cain & Lipasti): forwarding
+// through an associative store queue, disambiguation by re-executing every
+// load at retirement.
+
+type valueReplaySystem struct {
+	p  *Pipeline
+	vr *core.ValueReplay
+}
+
+func newValueReplaySystem(p *Pipeline) *valueReplaySystem {
+	return &valueReplaySystem{p: p, vr: core.NewValueReplay(p.cfg.LSQ)}
+}
+
+func (m *valueReplaySystem) canDispatchLoad() bool {
+	return m.vr.Loads() < m.vr.Config().LoadEntries
+}
+func (m *valueReplaySystem) canDispatchStore() bool {
+	return m.vr.Stores() < m.vr.Config().StoreEntries
+}
+
+func (m *valueReplaySystem) dispatchLoad(seq seqnum.Seq, pc uint64) {
+	if !m.vr.DispatchLoad(seq, pc) {
+		panic("pipeline: value-replay load dispatch after canDispatchLoad")
+	}
+}
+
+func (m *valueReplaySystem) dispatchStore(seq seqnum.Seq, pc uint64) {
+	if !m.vr.DispatchStore(seq, pc) {
+		panic("pipeline: value-replay store dispatch after canDispatchStore")
+	}
+}
+
+func (m *valueReplaySystem) memRead(addr uint64) byte { return m.p.memory.ByteAt(addr) }
+
+func (m *valueReplaySystem) executeLoad(e *entry, head bool) memOutcome {
+	p := m.p
+	res, err := m.vr.ExecuteLoad(e.seq, e.memAddr, e.memSize, m.memRead)
+	if err != nil {
+		p.fail(err)
+		return memOutcome{}
+	}
+	lat := p.cfg.AGULat
+	if res.Forwarded {
+		lat += p.cfg.BypassLat
+		p.stats.LSQForwards++
+	} else {
+		lat += p.hier.DataLatency(e.memAddr)
+		if res.Partial {
+			p.stats.LSQPartialMerges++
+		}
+	}
+	return memOutcome{value: res.Value, latency: lat, forwarded: res.Forwarded}
+}
+
+func (m *valueReplaySystem) executeStore(e *entry, head bool) memOutcome {
+	if err := m.vr.ExecuteStore(e.seq, e.memAddr, e.memSize, e.memVal, m.memRead); err != nil {
+		m.p.fail(err)
+		return memOutcome{}
+	}
+	return memOutcome{latency: m.p.cfg.AGULat}
+}
+
+func (m *valueReplaySystem) preRetireLoad(e *entry) *core.Violation {
+	// The retirement-time replay accesses the D-cache again — the extra
+	// port pressure the paper's §4 discussion points at.
+	m.p.hier.DataLatency(e.memAddr)
+	v, err := m.vr.RetireLoad(e.seq, m.memRead)
+	if err != nil {
+		m.p.fail(err)
+		return nil
+	}
+	return v
+}
+
+func (m *valueReplaySystem) retireLoad(e *entry) bool { return false } // popped in preRetireLoad
+
+func (m *valueReplaySystem) retireStore(e *entry) (uint64, int, uint64, bool, error) {
+	addr, size, val, err := m.vr.RetireStore(e.seq)
+	return addr, size, val, false, err
+}
+
+func (m *valueReplaySystem) squashFrom(from seqnum.Seq) { m.vr.SquashFrom(from) }
+
+func (m *valueReplaySystem) onPartialFlush(seqnum.Seq, seqnum.Seq, bool, int) {}
+
+// ---------------------------------------------------------------------------
+// MDT + multi-version SFC memory subsystem (§4 multiversion alternative):
+// store renaming makes anti and output violations impossible, the corruption
+// machinery disappears (canceled versions are deleted exactly), and only
+// true violations remain for the MDT.
+
+type mvSFCSystem struct {
+	p    *Pipeline
+	mdt  *core.MDT
+	sfc  *core.MVSFC
+	fifo *core.StoreFIFO
+}
+
+func newMVSFCSystem(p *Pipeline) *mvSFCSystem {
+	mdt := core.NewMDT(p.cfg.MDT)
+	mdt.TrueOnly = true
+	mdt.SingleLoadOpt = p.cfg.Recovery.SingleLoadOpt
+	return &mvSFCSystem{
+		p:    p,
+		mdt:  mdt,
+		sfc:  core.NewMVSFC(p.cfg.MVSFC),
+		fifo: core.NewStoreFIFO(p.cfg.StoreFIFOCap),
+	}
+}
+
+func (m *mvSFCSystem) canDispatchLoad() bool  { return true }
+func (m *mvSFCSystem) canDispatchStore() bool { return m.fifo.Len() < m.fifo.Cap() }
+
+func (m *mvSFCSystem) dispatchLoad(seq seqnum.Seq, pc uint64) {}
+
+func (m *mvSFCSystem) dispatchStore(seq seqnum.Seq, pc uint64) {
+	if !m.fifo.Dispatch(seq) {
+		panic("pipeline: store FIFO dispatch after canDispatchStore")
+	}
+}
+
+func (m *mvSFCSystem) setBound(oldest seqnum.Seq) {
+	m.mdt.SetBound(oldest)
+	m.sfc.SetBound(oldest)
+}
+
+func (m *mvSFCSystem) executeLoad(e *entry, head bool) memOutcome {
+	p := m.p
+	if head {
+		p.stats.HeadBypassLoads++
+		lat := p.cfg.AGULat + p.hier.DataLatency(e.memAddr)
+		return memOutcome{value: p.memory.Read(e.memAddr, e.memSize), latency: lat}
+	}
+	res := m.mdt.AccessLoad(e.seq, e.pc, e.memAddr, e.memSize)
+	if res.Conflict {
+		return memOutcome{replay: true, cause: replayMDTConflict}
+	}
+	sres := m.sfc.LoadRead(e.seq, e.memAddr, e.memSize)
+	switch sres.Status {
+	case core.SFCFull:
+		p.hier.DataLatency(e.memAddr)
+		p.stats.SFCForwards++
+		var v uint64
+		for i := 0; i < e.memSize; i++ {
+			v |= uint64(sres.Data[i]) << (8 * i)
+		}
+		return memOutcome{value: v, latency: p.cfg.AGULat + p.hier.Config().L1HitCycles, forwarded: true}
+	case core.SFCPartial:
+		lat := p.cfg.AGULat + p.hier.DataLatency(e.memAddr)
+		var v uint64
+		for i := 0; i < e.memSize; i++ {
+			b := sres.Data[i]
+			if sres.ValidMask&(1<<i) == 0 {
+				b = p.memory.ByteAt(e.memAddr + uint64(i))
+			}
+			v |= uint64(b) << (8 * i)
+		}
+		p.stats.SFCPartialMerges++
+		return memOutcome{value: v, latency: lat}
+	default:
+		lat := p.cfg.AGULat + p.hier.DataLatency(e.memAddr)
+		return memOutcome{value: p.memory.Read(e.memAddr, e.memSize), latency: lat}
+	}
+}
+
+func (m *mvSFCSystem) executeStore(e *entry, head bool) memOutcome {
+	p := m.p
+	if head {
+		p.stats.HeadBypassStores++
+		m.fifo.Execute(e.seq, e.memAddr, e.memSize, e.memVal)
+		p.memory.Write(e.memAddr, e.memSize, e.memVal)
+		return memOutcome{latency: p.cfg.AGULat, violation: m.mdt.CheckStoreAtHead(e.seq, e.pc, e.memAddr, e.memSize)}
+	}
+	if !m.sfc.CanWrite(e.seq, e.memAddr) {
+		m.sfc.StoreConflicts++
+		return memOutcome{replay: true, cause: replaySFCConflict}
+	}
+	res := m.mdt.AccessStore(e.seq, e.pc, e.memAddr, e.memSize)
+	if res.Conflict {
+		return memOutcome{replay: true, cause: replayMDTConflict}
+	}
+	out := memOutcome{latency: p.cfg.AGULat + p.cfg.SFCTagCheckExtra, violation: res.Violation}
+	if !m.sfc.StoreWrite(e.seq, e.memAddr, e.memSize, e.memVal) {
+		panic("pipeline: MVSFC write failed after CanWrite")
+	}
+	m.fifo.Execute(e.seq, e.memAddr, e.memSize, e.memVal)
+	return out
+}
+
+func (m *mvSFCSystem) preRetireLoad(e *entry) *core.Violation { return nil }
+
+func (m *mvSFCSystem) retireLoad(e *entry) bool {
+	return m.mdt.RetireLoad(e.seq, e.memAddr, e.memSize)
+}
+
+func (m *mvSFCSystem) retireStore(e *entry) (uint64, int, uint64, bool, error) {
+	addr, size, val, err := m.fifo.Retire(e.seq)
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	freed := m.sfc.RetireStore(e.seq, addr)
+	if m.mdt.RetireStore(e.seq, addr, size) {
+		freed = true
+	}
+	return addr, size, val, freed, nil
+}
+
+func (m *mvSFCSystem) squashFrom(from seqnum.Seq) {
+	m.fifo.SquashFrom(from)
+	m.sfc.SquashFrom(from) // exact version deletion: no corruption needed
+}
+
+func (m *mvSFCSystem) onPartialFlush(seqnum.Seq, seqnum.Seq, bool, int) {}
+
+var (
+	_ memSystem = (*mdtSFCSystem)(nil)
+	_ memSystem = (*lsqSystem)(nil)
+	_ memSystem = (*valueReplaySystem)(nil)
+	_ memSystem = (*mvSFCSystem)(nil)
+)

@@ -1,0 +1,1084 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+
+	"sfcmdt/internal/arch"
+	"sfcmdt/internal/bpred"
+	"sfcmdt/internal/core"
+	"sfcmdt/internal/isa"
+	"sfcmdt/internal/mem"
+	"sfcmdt/internal/metrics"
+	"sfcmdt/internal/prog"
+	"sfcmdt/internal/seqnum"
+)
+
+// physReg indexes the physical register file; -1 means none.
+type physReg int32
+
+const noPhys physReg = -1
+
+// entry is one in-flight dynamic instruction (a ROB slot).
+type entry struct {
+	seq  seqnum.Seq
+	pc   uint64
+	inst isa.Inst
+
+	traceIdx   int // index into the golden trace; -1 on the wrong path
+	predNextPC uint64
+	ghrBefore  uint32 // speculative global history before this instruction
+	ghrAfter   uint32
+
+	// Rename state.
+	ratSnap  []physReg // RAT before this instruction renamed (checkpoint)
+	srcPhys  [2]physReg
+	nSrc     int
+	newPhys  physReg
+	oldPhys  physReg
+	destArch isa.Reg
+	hasDest  bool
+
+	issued    bool
+	completed bool
+	squashed  bool
+
+	result uint64
+
+	// Memory state.
+	isLoad, isStore bool
+	memAddr         uint64
+	memSize         int
+	memVal          uint64 // store data (masked) or raw load bytes
+	forwarded       bool
+
+	// Control state.
+	isCond, isJump bool
+	actualTaken    bool
+	actualNext     uint64
+
+	// Dependence tags.
+	consumeTag  core.TagID
+	produceTag  core.TagID
+	consumeHeld bool
+
+	// Pending violation, detected at execute, acted on at completion.
+	violation *core.Violation
+
+	// wroteSFC marks a store whose bytes are in the SFC (not yet retired
+	// or squashed); the pipeline counts these to decide whether a partial
+	// flush can be upgraded to a full SFC flush.
+	wroteSFC bool
+
+	stall   bool
+	replays int
+}
+
+// fqEntry is a fetched, not-yet-dispatched instruction.
+type fqEntry struct {
+	seq        seqnum.Seq
+	pc         uint64
+	inst       isa.Inst
+	traceIdx   int
+	predNextPC uint64
+	ghrBefore  uint32
+	ghrAfter   uint32
+	readyAt    uint64 // earliest dispatch cycle (front-end depth)
+	isHalt     bool
+}
+
+// Pipeline is one configured processor instance bound to one program trace.
+type Pipeline struct {
+	cfg    Config
+	img    *prog.Image
+	trace  *arch.Trace
+	memory *mem.Sparse
+	hier   *mem.Hierarchy
+	bp     *bpred.Gshare
+	pred   *core.Predictor
+	msys   memSystem
+	seqs   *seqnum.Allocator
+	stats  metrics.Stats
+
+	// Rename state.
+	rat       []physReg
+	physVal   []uint64
+	physReady []bool
+	freePhys  []physReg
+
+	rob []*entry
+	fq  []fqEntry
+
+	// Completion events, keyed by cycle.
+	events map[uint64][]*entry
+
+	cycle           uint64
+	fetchPC         uint64
+	fetchStallUntil uint64
+	fetchTraceIdx   int
+	onCorrectPath   bool
+	fetchHalted     bool
+
+	// dbg, when non-nil, receives a trace of memory-unit and recovery
+	// events (testing/debugging aid).
+	dbg func(format string, args ...any)
+
+	needsBound bool // memory subsystem wants per-cycle reclamation bounds
+
+	retired         int // == next trace index to retire
+	sfcLiveStores   int // stores that have written the SFC and not yet retired or squashed
+	lastRetireCycle uint64
+	err             error
+	done            bool
+}
+
+// New builds a pipeline for the given program and configuration. The golden
+// trace is produced internally with the functional model.
+func New(cfg Config, img *prog.Image) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	trace, err := arch.RunTrace(img, cfg.MaxInsts)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithTrace(cfg, img, trace)
+}
+
+// NewWithTrace builds a pipeline against a precomputed golden trace (the
+// harness reuses one trace across configurations).
+func NewWithTrace(cfg Config, img *prog.Image, trace *arch.Trace) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Pipeline{
+		cfg:           cfg,
+		img:           img,
+		trace:         trace,
+		memory:        arch.LoadMemory(img),
+		hier:          mem.NewHierarchy(cfg.Hier),
+		bp:            bpred.New(cfg.BPred),
+		pred:          core.NewPredictor(cfg.Pred),
+		seqs:          seqnum.NewAllocator(),
+		events:        make(map[uint64][]*entry),
+		fetchPC:       img.Entry,
+		onCorrectPath: true,
+	}
+	p.needsBound = cfg.MemSys == MemMDTSFC || cfg.MemSys == MemMVSFC
+	switch cfg.MemSys {
+	case MemLSQ:
+		p.msys = newLSQSystem(p)
+	case MemMDTSFC:
+		p.msys = newMDTSFCSystem(p)
+	case MemValueReplay:
+		p.msys = newValueReplaySystem(p)
+	case MemMVSFC:
+		p.msys = newMVSFCSystem(p)
+	}
+	nPhys := cfg.ROBSize + isa.NumRegs + 8
+	p.rat = make([]physReg, isa.NumRegs)
+	p.physVal = make([]uint64, nPhys)
+	p.physReady = make([]bool, nPhys)
+	for r := 0; r < isa.NumRegs; r++ {
+		p.rat[r] = physReg(r)
+		p.physReady[r] = true
+	}
+	// Architectural register 29 is the conventional stack pointer.
+	p.physVal[29] = prog.DefaultStackTop
+	for i := nPhys - 1; i >= isa.NumRegs; i-- {
+		p.freePhys = append(p.freePhys, physReg(i))
+	}
+	return p, nil
+}
+
+// Stats returns the statistics collected so far.
+func (p *Pipeline) Stats() *metrics.Stats { return &p.stats }
+
+// SetDebug installs a sink for a detailed event trace (testing aid).
+func (p *Pipeline) SetDebug(f func(format string, args ...any)) { p.dbg = f }
+
+func (p *Pipeline) debugf(format string, args ...any) {
+	if p.dbg != nil {
+		p.dbg(format, args...)
+	}
+}
+
+// MDTSFC returns the MDT and SFC instances when that subsystem is in use
+// (nil otherwise); the harness reads their structure-level statistics.
+func (p *Pipeline) MDTSFC() (*core.MDT, *core.SFC) {
+	if m, ok := p.msys.(*mdtSFCSystem); ok {
+		return m.mdt, m.sfc
+	}
+	return nil, nil
+}
+
+// LSQ returns the LSQ instance when that subsystem is in use.
+func (p *Pipeline) LSQ() *core.LSQ {
+	if m, ok := p.msys.(*lsqSystem); ok {
+		return m.lsq
+	}
+	return nil
+}
+
+// ValueReplay returns the value-replay instance when that subsystem is in
+// use.
+func (p *Pipeline) ValueReplay() *core.ValueReplay {
+	if m, ok := p.msys.(*valueReplaySystem); ok {
+		return m.vr
+	}
+	return nil
+}
+
+// MVSFC returns the MDT and multi-version SFC when that subsystem is in use.
+func (p *Pipeline) MVSFC() (*core.MDT, *core.MVSFC) {
+	if m, ok := p.msys.(*mvSFCSystem); ok {
+		return m.mdt, m.sfc
+	}
+	return nil, nil
+}
+
+func (p *Pipeline) fail(err error) {
+	if p.err == nil {
+		p.err = fmt.Errorf("pipeline: %s: cycle %d, retired %d: %w", p.cfg.Name, p.cycle, p.retired, err)
+	}
+	p.done = true
+}
+
+// Run simulates until the whole trace has retired (or an error occurs) and
+// returns the final statistics.
+func (p *Pipeline) Run() (*metrics.Stats, error) {
+	for !p.done {
+		p.step()
+	}
+	if mdt, sfc := p.MDTSFC(); mdt != nil {
+		p.stats.SearchEntriesMDT = mdt.EntriesSearched
+		p.stats.SearchEntriesSFC = sfc.EntriesSearched
+	}
+	if mdt, mv := p.MVSFC(); mdt != nil {
+		p.stats.SearchEntriesMDT = mdt.EntriesSearched
+		p.stats.SearchEntriesSFC = mv.EntriesSearched + mv.VersionsSearched
+	}
+	if lsq := p.LSQ(); lsq != nil {
+		p.stats.SearchEntriesLSQ = lsq.EntriesSearched
+	}
+	if vr := p.ValueReplay(); vr != nil {
+		p.stats.SearchEntriesLSQ = vr.EntriesSearched
+	}
+	h := p.hier
+	p.stats.L1IHits, p.stats.L1IMisses = h.L1I.Hits, h.L1I.Misses
+	p.stats.L1DHits, p.stats.L1DMisses = h.L1D.Hits, h.L1D.Misses
+	p.stats.L2Hits, p.stats.L2Misses = h.L2.Hits, h.L2.Misses
+	if p.err != nil {
+		return &p.stats, p.err
+	}
+	return &p.stats, nil
+}
+
+// step advances one cycle.
+func (p *Pipeline) step() {
+	if p.needsBound {
+		oldest := p.seqs.Peek()
+		if len(p.rob) > 0 {
+			oldest = p.rob[0].seq
+		} else if len(p.fq) > 0 {
+			oldest = p.fq[0].seq
+		}
+		switch ms := p.msys.(type) {
+		case *mdtSFCSystem:
+			ms.setBound(oldest)
+		case *mvSFCSystem:
+			ms.setBound(oldest)
+		}
+	}
+	p.complete()
+	p.retire()
+	if p.done {
+		return
+	}
+	p.issue()
+	p.dispatch()
+	p.fetch()
+	p.cycle++
+	p.stats.Cycles = p.cycle
+	p.stats.OccupancySum += uint64(len(p.rob))
+	if uint64(len(p.rob)) > p.stats.MaxOccupancy {
+		p.stats.MaxOccupancy = uint64(len(p.rob))
+	}
+	if p.cycle >= p.cfg.MaxCycles {
+		p.fail(fmt.Errorf("cycle limit %d exceeded (possible deadlock; ROB=%d, fq=%d)", p.cfg.MaxCycles, len(p.rob), len(p.fq)))
+	}
+	if p.cycle-p.lastRetireCycle > 500_000 {
+		p.fail(fmt.Errorf("no retirement for 500k cycles (deadlock; ROB=%d head=%+v)", len(p.rob), p.headInfo()))
+	}
+}
+
+func (p *Pipeline) headInfo() string {
+	if len(p.rob) == 0 {
+		return "<empty>"
+	}
+	e := p.rob[0]
+	return fmt.Sprintf("seq=%d pc=%#x %s issued=%v completed=%v stall=%v", e.seq, e.pc, e.inst, e.issued, e.completed, e.stall)
+}
+
+// ---------------------------------------------------------------------------
+// Completion.
+
+func (p *Pipeline) complete() {
+	evs := p.events[p.cycle]
+	if evs == nil {
+		return
+	}
+	delete(p.events, p.cycle)
+	// Process completions oldest-first so that an older instruction's flush
+	// deterministically squashes younger same-cycle completions.
+	sort.Slice(evs, func(i, j int) bool { return seqnum.Before(evs[i].seq, evs[j].seq) })
+	for _, e := range evs {
+		if e.squashed || e.completed {
+			continue
+		}
+		p.completeEntry(e)
+	}
+}
+
+func (p *Pipeline) completeEntry(e *entry) {
+	e.completed = true
+	if e.hasDest {
+		p.physVal[e.newPhys] = e.result
+		p.physReady[e.newPhys] = true
+	}
+	// Branch resolution.
+	if e.isCond || e.isJump {
+		if e.actualNext != e.predNextPC {
+			p.stats.MispredictFlushes++
+			p.recover(e.seq+1, e.actualNext, e.nextTraceIdx(), e.ghrAfterActual(), p.cfg.MispredictPenalty)
+			return
+		}
+	}
+
+	// Memory-dependence violation recovery.
+	if v := e.violation; v != nil {
+		p.handleViolation(e, v)
+	}
+}
+
+// nextTraceIdx returns the trace index of the instruction after e, or -1 if
+// e is on the wrong path.
+func (e *entry) nextTraceIdx() int {
+	if e.traceIdx < 0 {
+		return -1
+	}
+	return e.traceIdx + 1
+}
+
+// ghrAfterActual returns the history to restore after resolving e: for a
+// mispredicted conditional branch the speculative shift was wrong, so the
+// corrected direction is shifted into the pre-branch history.
+func (e *entry) ghrAfterActual() uint32 {
+	if !e.isCond {
+		return e.ghrAfter
+	}
+	h := e.ghrBefore << 1
+	if e.actualTaken {
+		h |= 1
+	}
+	return h
+}
+
+func (p *Pipeline) handleViolation(e *entry, v *core.Violation) {
+	switch v.Kind {
+	case core.TrueViolation:
+		p.stats.TrueViolations++
+	case core.AntiViolation:
+		p.stats.AntiViolations++
+	case core.OutputViolation:
+		p.stats.OutputViolations++
+	}
+	if v.ProducerSeq != seqnum.None {
+		p.pred.RecordViolation(v.Kind, v.ProducerPC, v.ConsumerPC)
+		p.stats.PredViolationsRecorded++
+	}
+	p.stats.ViolationFlushes++
+
+	penalty := p.cfg.MispredictPenalty + p.cfg.MDTViolExtra
+	if p.cfg.MemSys == MemLSQ {
+		penalty = p.cfg.MispredictPenalty
+	}
+
+	// Locate the first squashed instruction to find the resume point.
+	idx := p.firstAtOrAfter(v.FlushFromSeq)
+	var resumePC uint64
+	resumeTrace := -1
+	var ghr uint32
+	switch {
+	case idx < len(p.rob):
+		first := p.rob[idx]
+		resumePC = first.pc
+		resumeTrace = first.traceIdx
+		ghr = first.ghrBefore
+	case len(p.fq) > 0:
+		f := p.fq[0]
+		resumePC = f.pc
+		resumeTrace = f.traceIdx
+		ghr = f.ghrBefore
+	default:
+		// Nothing fetched beyond the flush point: nothing to squash, and
+		// fetch already sits at the right PC.
+		return
+	}
+	p.recover(v.FlushFromSeq, resumePC, resumeTrace, ghr, penalty)
+}
+
+// ---------------------------------------------------------------------------
+// Recovery (partial pipeline flush).
+
+// firstAtOrAfter returns the index of the first ROB entry with seq >= from.
+func (p *Pipeline) firstAtOrAfter(from seqnum.Seq) int {
+	for i, e := range p.rob {
+		if !seqnum.Before(e.seq, from) {
+			return i
+		}
+	}
+	return len(p.rob)
+}
+
+// recover squashes every instruction with seq >= from, restores the rename
+// and history state, and redirects fetch to resumePC after the given
+// penalty. resumeTrace is the golden-trace index of the instruction at
+// resumePC, or -1 if recovery lands on the wrong path.
+func (p *Pipeline) recover(from seqnum.Seq, resumePC uint64, resumeTrace int, ghr uint32, penalty int) {
+	idx := p.firstAtOrAfter(from)
+	p.debugf("c%d RECOVER from=%d resumePC=%#x resumeTrace=%d squash=%d+fq%d", p.cycle, from, resumePC, resumeTrace, len(p.rob)-idx, len(p.fq))
+	canceledCompletedStore := false
+
+	// Squash ROB suffix, youngest first, returning rename resources.
+	for i := len(p.rob) - 1; i >= idx; i-- {
+		e := p.rob[i]
+		e.squashed = true
+		p.stats.Squashed++
+		if e.hasDest {
+			p.freePhys = append(p.freePhys, e.newPhys)
+		}
+		if e.wroteSFC {
+			p.sfcLiveStores--
+			canceledCompletedStore = true
+		}
+		if e.consumeHeld {
+			p.pred.ReleaseConsume(e.consumeTag)
+			e.consumeHeld = false
+		}
+		if e.produceTag != core.NoTag {
+			p.pred.ProducerDone(e.produceTag, true)
+			e.produceTag = core.NoTag
+		}
+	}
+	if idx < len(p.rob) {
+		// Restore the RAT from the checkpoint taken before the first
+		// squashed instruction renamed.
+		copy(p.rat, p.rob[idx].ratSnap)
+		p.rob = p.rob[:idx]
+	}
+
+	// The fetch queue is strictly younger than the ROB; clear it.
+	p.stats.Squashed += uint64(len(p.fq))
+	p.fq = p.fq[:0]
+
+	p.msys.squashFrom(from)
+	p.stats.SFCLiveSum += uint64(p.sfcLiveStores)
+	p.debugf("c%d FLUSH-SFC canceled=%v live=%d", p.cycle, canceledCompletedStore, p.sfcLiveStores)
+	// The flushed window covers every canceled sequence number: [from,
+	// latest allocated]. Sequence numbers allocated after recovery are
+	// larger, so the window never covers live instructions.
+	p.msys.onPartialFlush(from, p.seqs.Peek()-1, canceledCompletedStore, p.sfcLiveStores)
+
+	p.bp.Restore(ghr)
+	p.fetchPC = resumePC
+	p.fetchTraceIdx = resumeTrace
+	p.onCorrectPath = resumeTrace >= 0
+	p.fetchHalted = false
+	until := p.cycle + uint64(penalty)
+	if until > p.fetchStallUntil {
+		p.fetchStallUntil = until
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Retirement.
+
+func (p *Pipeline) retire() {
+	for n := 0; n < p.cfg.Width && len(p.rob) > 0; n++ {
+		e := p.rob[0]
+		if !e.completed || e.squashed {
+			return
+		}
+		if e.isLoad {
+			if v := p.msys.preRetireLoad(e); v != nil {
+				// Retirement-time disambiguation (value replay): the
+				// load consumed a stale value; recover from the load
+				// itself. Detection this late is the scheme's cost.
+				p.stats.TrueViolations++
+				p.stats.ViolationFlushes++
+				p.recover(e.seq, e.pc, e.traceIdx, e.ghrBefore, p.cfg.MispredictPenalty)
+				return
+			}
+		}
+		if err := p.validateRetire(e); err != nil {
+			p.fail(err)
+			return
+		}
+		if e.isLoad || e.isStore {
+			p.debugf("c%d RETIRE seq=%d ti=%d pc=%#x %s addr=%#x", p.cycle, e.seq, e.traceIdx, e.pc, e.inst, e.memAddr)
+		}
+		// Commit.
+		if e.isStore {
+			addr, size, val, freed, err := p.msys.retireStore(e)
+			if err != nil {
+				p.fail(err)
+				return
+			}
+			p.memory.Write(addr, size, val)
+			p.hier.DataLatency(addr) // commit touches the D-cache
+			if e.wroteSFC {
+				p.sfcLiveStores--
+			}
+			p.stats.RetiredStores++
+			if freed {
+				p.clearStallBits()
+			}
+		}
+		if e.isLoad {
+			if p.msys.retireLoad(e) {
+				p.clearStallBits()
+			}
+			p.stats.RetiredLoads++
+		}
+		if e.isCond && e.traceIdx >= 0 {
+			p.stats.CondBranches++
+			if e.predNextPC != e.actualNext {
+				p.stats.Mispredicts++
+				p.bp.FinalMispredicts++
+			}
+			p.bp.Update(e.pc, e.ghrBefore, e.actualTaken)
+		}
+		if e.hasDest && e.oldPhys != noPhys {
+			p.freePhys = append(p.freePhys, e.oldPhys)
+		}
+		if e.produceTag != core.NoTag {
+			p.pred.ProducerDone(e.produceTag, false)
+			e.produceTag = core.NoTag
+		}
+		p.rob = p.rob[1:]
+		p.retired++
+		p.stats.Retired++
+		p.lastRetireCycle = p.cycle
+		if e.inst.Op == isa.OpHalt || p.retired >= p.trace.Len() {
+			p.done = true
+			return
+		}
+	}
+}
+
+func (p *Pipeline) validateRetire(e *entry) error {
+	if p.cfg.DisableValidation {
+		return nil
+	}
+	if e.traceIdx != p.retired {
+		return fmt.Errorf("retiring seq %d pc=%#x %s: trace index %d, expected %d (wrong-path instruction reached retirement?)",
+			e.seq, e.pc, e.inst, e.traceIdx, p.retired)
+	}
+	rec := p.trace.At(p.retired)
+	if rec.PC != e.pc {
+		return fmt.Errorf("retire #%d: pc %#x, trace has %#x", p.retired, e.pc, rec.PC)
+	}
+	if rec.HasDest != e.hasDest || (e.hasDest && (rec.Dest != e.destArch || rec.DestVal != e.result)) {
+		return fmt.Errorf("retire #%d pc=%#x %s: dest %v=%#x, trace has %v=%#x",
+			p.retired, e.pc, e.inst, e.destArch, e.result, rec.Dest, rec.DestVal)
+	}
+	if e.isLoad && (rec.Addr != e.memAddr || rec.LoadVal != e.result) {
+		return fmt.Errorf("retire #%d pc=%#x %s: load [%#x]=%#x, trace has [%#x]=%#x",
+			p.retired, e.pc, e.inst, e.memAddr, e.result, rec.Addr, rec.LoadVal)
+	}
+	if e.isStore && (rec.Addr != e.memAddr || rec.StoreVal != e.memVal) {
+		return fmt.Errorf("retire #%d pc=%#x %s: store [%#x]=%#x, trace has [%#x]=%#x",
+			p.retired, e.pc, e.inst, e.memAddr, e.memVal, rec.Addr, rec.StoreVal)
+	}
+	if (e.isCond || e.isJump) && rec.NextPC != e.actualNext {
+		return fmt.Errorf("retire #%d pc=%#x %s: next PC %#x, trace has %#x",
+			p.retired, e.pc, e.inst, e.actualNext, rec.NextPC)
+	}
+	return nil
+}
+
+func (p *Pipeline) clearStallBits() {
+	for _, e := range p.rob {
+		e.stall = false
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Issue / execute.
+
+func (p *Pipeline) issue() {
+	issued := 0
+	memIssued := 0
+	for i := 0; i < len(p.rob) && issued < p.cfg.NumFUs; i++ {
+		e := p.rob[i]
+		if e.issued || e.squashed {
+			continue
+		}
+		if (e.isLoad || e.isStore) && p.cfg.MemPorts > 0 && memIssued >= p.cfg.MemPorts {
+			continue
+		}
+		ready := true
+		for s := 0; s < e.nSrc; s++ {
+			if !p.physReady[e.srcPhys[s]] {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		head := i == 0
+		if e.isLoad || e.isStore {
+			if e.stall && !head {
+				continue
+			}
+			if !p.pred.TagReady(e.consumeTag) && !head {
+				continue
+			}
+		}
+		p.execute(e, head)
+		issued++
+		if e.isLoad || e.isStore {
+			memIssued++
+		}
+		p.stats.Issued++
+		if p.done {
+			return
+		}
+	}
+}
+
+// srcVal reads a source operand's value from the physical register file.
+func (p *Pipeline) srcVal(e *entry, i int) uint64 {
+	return p.physVal[e.srcPhys[i]]
+}
+
+func (p *Pipeline) execute(e *entry, head bool) {
+	e.issued = true
+	if e.consumeHeld {
+		p.pred.ReleaseConsume(e.consumeTag)
+		e.consumeHeld = false
+	}
+	// The scheduler marks the produced dependence tag ready once the
+	// instruction issues to the memory unit (§2.1), except that it
+	// "oracularly avoids awakening predicted consumers of loads and stores
+	// that will be replayed" (§3): readiness is deferred below until the
+	// memory unit accepts the instruction.
+	defer func() {
+		if e.issued && e.produceTag != core.NoTag {
+			p.pred.ProducerComplete(e.produceTag)
+		}
+	}()
+	in := e.inst
+	lat := p.cfg.IntLat
+	switch in.Op.Class() {
+	case isa.ClassALU, isa.ClassNop, isa.ClassHalt:
+		e.result = p.aluResult(e)
+	case isa.ClassMul:
+		e.result = p.aluResult(e)
+		lat = p.cfg.MulLat
+	case isa.ClassDiv:
+		e.result = p.aluResult(e)
+		lat = p.cfg.DivLat
+
+	case isa.ClassBranch:
+		rs1, rs2 := p.srcVal(e, 0), p.srcVal(e, 1)
+		e.actualTaken = arch.EvalBranch(in.Op, rs1, rs2)
+		e.actualNext = e.pc + 4
+		if e.actualTaken {
+			e.actualNext = e.pc + 4 + uint64(int64(in.Imm))*4
+		}
+
+	case isa.ClassJump:
+		e.result = e.pc + 4
+		if in.Op == isa.OpJal {
+			e.actualNext = e.pc + 4 + uint64(int64(in.Imm))*4
+		} else {
+			e.actualNext = (p.srcVal(e, 0) + uint64(int64(in.Imm))) &^ 3
+		}
+		e.actualTaken = true
+
+	case isa.ClassLoad:
+		p.executeLoad(e, head)
+		return
+
+	case isa.ClassStore:
+		p.executeStore(e, head)
+		return
+	}
+	p.schedule(e, lat)
+}
+
+func (p *Pipeline) aluResult(e *entry) uint64 {
+	in := e.inst
+	var rs1, rs2 uint64
+	if e.nSrc > 0 {
+		rs1 = p.srcVal(e, 0)
+	}
+	if e.nSrc > 1 {
+		rs2 = p.srcVal(e, 1)
+	}
+	imm := uint64(int64(in.Imm))
+	switch in.Op {
+	case isa.OpAdd:
+		return rs1 + rs2
+	case isa.OpSub:
+		return rs1 - rs2
+	case isa.OpAnd:
+		return rs1 & rs2
+	case isa.OpOr:
+		return rs1 | rs2
+	case isa.OpXor:
+		return rs1 ^ rs2
+	case isa.OpSll:
+		return rs1 << (rs2 & 63)
+	case isa.OpSrl:
+		return rs1 >> (rs2 & 63)
+	case isa.OpSra:
+		return uint64(int64(rs1) >> (rs2 & 63))
+	case isa.OpSlt:
+		if int64(rs1) < int64(rs2) {
+			return 1
+		}
+		return 0
+	case isa.OpSltu:
+		if rs1 < rs2 {
+			return 1
+		}
+		return 0
+	case isa.OpMul:
+		return rs1 * rs2
+	case isa.OpDiv:
+		return arch.DivOp(rs1, rs2)
+	case isa.OpRem:
+		return arch.RemOp(rs1, rs2)
+	case isa.OpAddi:
+		return rs1 + imm
+	case isa.OpAndi:
+		return rs1 & imm
+	case isa.OpOri:
+		return rs1 | imm
+	case isa.OpXori:
+		return rs1 ^ imm
+	case isa.OpSlli:
+		return rs1 << (imm & 63)
+	case isa.OpSrli:
+		return rs1 >> (imm & 63)
+	case isa.OpSrai:
+		return uint64(int64(rs1) >> (imm & 63))
+	case isa.OpSlti:
+		if int64(rs1) < int64(in.Imm) {
+			return 1
+		}
+		return 0
+	case isa.OpMovz:
+		return uint64(uint32(in.Imm)) << (16 * uint(in.Sh))
+	case isa.OpMovk:
+		old := rs1 // MOVK sources its own destination
+		mask := uint64(0xFFFF) << (16 * uint(in.Sh))
+		return old&^mask | uint64(uint32(in.Imm))<<(16*uint(in.Sh))
+	}
+	return 0
+}
+
+func (p *Pipeline) executeLoad(e *entry, head bool) {
+	in := e.inst
+	e.memSize = in.Op.MemSize()
+	addr := p.srcVal(e, 0) + uint64(int64(in.Imm))
+	// Wrong-path address streams can be arbitrarily misaligned; force
+	// natural alignment so no access crosses an 8-byte word. Correct-path
+	// programs are aligned by construction (the golden model faults
+	// otherwise).
+	e.memAddr = addr &^ (uint64(e.memSize) - 1)
+	out := p.msys.executeLoad(e, head)
+	p.debugf("c%d LOAD  seq=%d ti=%d pc=%#x addr=%#x head=%v replay=%v/%d val=%#x fwd=%v viol=%+v", p.cycle, e.seq, e.traceIdx, e.pc, e.memAddr, head, out.replay, out.cause, out.value, out.forwarded, out.violation)
+	if p.done {
+		return
+	}
+	if out.replay {
+		p.replay(e, out.cause)
+		return
+	}
+	e.memVal = out.value
+	e.result = arch.Extend(out.value, e.memSize, in.Op.Signed())
+	e.forwarded = out.forwarded
+	e.violation = out.violation
+	p.schedule(e, out.latency)
+}
+
+func (p *Pipeline) executeStore(e *entry, head bool) {
+	in := e.inst
+	e.memSize = in.Op.MemSize()
+	addr := p.srcVal(e, 0) + uint64(int64(in.Imm))
+	e.memAddr = addr &^ (uint64(e.memSize) - 1)
+	e.memVal = p.srcVal(e, 1) & arch.SizeMask(e.memSize)
+	out := p.msys.executeStore(e, head)
+	p.debugf("c%d STORE seq=%d ti=%d pc=%#x addr=%#x val=%#x head=%v replay=%v/%d viol=%+v", p.cycle, e.seq, e.traceIdx, e.pc, e.memAddr, e.memVal, head, out.replay, out.cause, out.violation)
+	if p.done {
+		return
+	}
+	if out.replay {
+		p.replay(e, out.cause)
+		return
+	}
+	e.violation = out.violation
+	p.schedule(e, out.latency)
+}
+
+// replay implements the re-execution mechanism: the memory unit drops the
+// instruction and places it back on the scheduler's ready list with its
+// stall bit set (§2.4.3).
+func (p *Pipeline) replay(e *entry, cause replayCause) {
+	e.issued = false
+	e.stall = true
+	e.replays++
+	switch cause {
+	case replaySFCConflict:
+		p.stats.ReplaySFCConflict++
+	case replayMDTConflict:
+		p.stats.ReplayMDTConflict++
+	case replayCorrupt:
+		p.stats.ReplayCorrupt++
+	case replayPartial:
+		p.stats.ReplayPartial++
+	}
+}
+
+func (p *Pipeline) schedule(e *entry, lat int) {
+	if lat < 1 {
+		lat = 1
+	}
+	at := p.cycle + uint64(lat)
+	p.events[at] = append(p.events[at], e)
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch (decode + memory dependence prediction + rename).
+
+func (p *Pipeline) dispatch() {
+	for n := 0; n < p.cfg.Width && len(p.fq) > 0; n++ {
+		f := p.fq[0]
+		if f.readyAt > p.cycle {
+			return
+		}
+		if len(p.rob) >= p.cfg.ROBSize {
+			p.stats.StallROBFull++
+			return
+		}
+		in := f.inst
+		dest, hasDest := in.Dest()
+		if hasDest && len(p.freePhys) == 0 {
+			p.stats.StallPhysRegs++
+			return
+		}
+		isLoad := in.Op.IsLoad()
+		isStore := in.Op.IsStore()
+		if isLoad && !p.msys.canDispatchLoad() {
+			p.stats.StallLSQFull++
+			return
+		}
+		if isStore && !p.msys.canDispatchStore() {
+			if p.cfg.MemSys == MemMDTSFC {
+				p.stats.StallFIFOFull++
+			} else {
+				p.stats.StallLSQFull++
+			}
+			return
+		}
+		// Memory dependence prediction (tags) last: it is the only
+		// allocation that cannot be probed without side effects.
+		var dtags core.Dispatch
+		if isLoad || isStore {
+			var ok bool
+			dtags, ok = p.pred.Lookup(f.pc)
+			if !ok {
+				p.stats.StallTags++
+				p.stats.PredTagStallCycles++
+				return
+			}
+		} else {
+			dtags = core.Dispatch{ConsumeTag: core.NoTag, ProduceTag: core.NoTag}
+		}
+
+		e := &entry{
+			seq:        f.seq,
+			pc:         f.pc,
+			inst:       in,
+			traceIdx:   f.traceIdx,
+			predNextPC: f.predNextPC,
+			ghrBefore:  f.ghrBefore,
+			ghrAfter:   f.ghrAfter,
+			newPhys:    noPhys,
+			oldPhys:    noPhys,
+			isLoad:     isLoad,
+			isStore:    isStore,
+			isCond:     in.Op.IsBranch(),
+			isJump:     in.Op.IsJump(),
+			consumeTag: dtags.ConsumeTag,
+			produceTag: dtags.ProduceTag,
+		}
+		e.consumeHeld = dtags.ConsumeTag != core.NoTag
+		if e.consumeHeld {
+			p.stats.PredConsumerWaits++
+		}
+
+		// Rename: checkpoint, map sources, allocate destination.
+		e.ratSnap = make([]physReg, isa.NumRegs)
+		copy(e.ratSnap, p.rat)
+		for _, r := range in.Sources() {
+			e.srcPhys[e.nSrc] = p.rat[r]
+			e.nSrc++
+		}
+		if hasDest {
+			e.hasDest = true
+			e.destArch = dest
+			np := p.freePhys[len(p.freePhys)-1]
+			p.freePhys = p.freePhys[:len(p.freePhys)-1]
+			e.newPhys = np
+			e.oldPhys = p.rat[dest]
+			p.rat[dest] = np
+			p.physReady[np] = false
+		}
+
+		if isLoad {
+			p.msys.dispatchLoad(e.seq, e.pc)
+		}
+		if isStore {
+			p.msys.dispatchStore(e.seq, e.pc)
+		}
+
+		p.rob = append(p.rob, e)
+		p.fq = p.fq[1:]
+		p.stats.Dispatched++
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fetch.
+
+func (p *Pipeline) fetch() {
+	if p.fetchHalted || p.cycle < p.fetchStallUntil {
+		return
+	}
+	if p.onCorrectPath && p.fetchTraceIdx >= p.trace.Len() {
+		return // instruction budget exhausted; drain the pipeline
+	}
+	branches := 0
+	for n := 0; n < p.cfg.Width; n++ {
+		if len(p.fq) >= p.cfg.FetchQueueCap {
+			return
+		}
+		pc := p.fetchPC &^ 3
+		lat := p.hier.FetchLatency(pc)
+		if lat > 0 {
+			p.fetchStallUntil = p.cycle + uint64(lat)
+			return
+		}
+		in, inCode := p.img.InstAt(pc)
+		if !inCode {
+			// Wrong-path fetch wandered outside the code segment; feed
+			// NOPs until recovery redirects fetch.
+			if p.onCorrectPath {
+				p.fail(fmt.Errorf("correct-path fetch at %#x outside code segment", pc))
+				return
+			}
+			in = isa.Inst{Op: isa.OpNop}
+		}
+
+		seq := p.seqs.Next()
+		ghrBefore := p.bp.History()
+		predNext := pc + 4
+		isHalt := false
+
+		switch {
+		case in.Op.IsBranch():
+			dir := p.bp.Predict(pc)
+			p.bp.Lookups++
+			if p.onCorrectPath {
+				trueTaken := p.trace.At(p.fetchTraceIdx).Taken
+				if dir != trueTaken {
+					p.bp.GshareWrong++
+					if p.bp.OracleFixes(uint64(seq)) {
+						dir = trueTaken
+						p.bp.OracleCorrected++
+						p.stats.OracleCorrected++
+					}
+				}
+			}
+			p.bp.Speculate(dir)
+			if dir {
+				predNext = pc + 4 + uint64(int64(in.Imm))*4
+			}
+			branches++
+		case in.Op == isa.OpJal:
+			predNext = pc + 4 + uint64(int64(in.Imm))*4
+		case in.Op == isa.OpJalr:
+			if p.onCorrectPath {
+				// Perfect indirect-target prediction on the correct path
+				// (the paper's front end oracle covers target supply).
+				predNext = p.trace.At(p.fetchTraceIdx).NextPC
+			}
+			// Wrong path: predict fall-through; execute will redirect.
+		case in.Op == isa.OpHalt:
+			if p.onCorrectPath {
+				isHalt = true
+				predNext = pc
+			}
+		}
+
+		traceIdx := -1
+		if p.onCorrectPath {
+			rec := p.trace.At(p.fetchTraceIdx)
+			if rec.PC != pc {
+				p.fail(fmt.Errorf("correct-path fetch at %#x, trace expects %#x (idx %d)", pc, rec.PC, p.fetchTraceIdx))
+				return
+			}
+			traceIdx = p.fetchTraceIdx
+			p.fetchTraceIdx++
+			if predNext != rec.NextPC && !isHalt {
+				// Diverging from the correct path: subsequent fetches are
+				// wrong-path until recovery.
+				p.onCorrectPath = false
+			}
+		}
+
+		p.fq = append(p.fq, fqEntry{
+			seq:        seq,
+			pc:         pc,
+			inst:       in,
+			traceIdx:   traceIdx,
+			predNextPC: predNext,
+			ghrBefore:  ghrBefore,
+			ghrAfter:   p.bp.History(),
+			readyAt:    p.cycle + uint64(p.cfg.FrontEndDepth),
+			isHalt:     isHalt,
+		})
+		p.stats.Fetched++
+		p.fetchPC = predNext
+
+		if isHalt {
+			p.fetchHalted = true
+			return
+		}
+		if p.onCorrectPath && p.fetchTraceIdx >= p.trace.Len() {
+			return
+		}
+		if predNext != pc+4 {
+			return // taken control flow ends the fetch packet
+		}
+		if branches >= p.cfg.FetchBranches {
+			return
+		}
+	}
+}

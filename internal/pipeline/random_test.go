@@ -1,0 +1,158 @@
+package pipeline
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sfcmdt/internal/core"
+	"sfcmdt/internal/isa"
+	"sfcmdt/internal/prog"
+)
+
+// randomProgram generates a random but well-formed program: a bounded loop
+// whose body mixes ALU work, naturally aligned subword loads and stores into
+// a shared buffer, and short forward branches. Every generated program
+// terminates and never faults, so it can be run differentially on the golden
+// model and both pipeline memory subsystems.
+func randomProgram(r *rand.Rand, name string) *prog.Image {
+	b := prog.NewBuilder(name)
+	const bufWords = 64
+	buf := b.Word64(make([]uint64, bufWords)...)
+
+	// r1..r8: scratch, r20: buffer base, r21: loop counter.
+	for reg := isa.Reg(1); reg <= 8; reg++ {
+		b.Li(reg, r.Uint64())
+	}
+	b.La(20, buf)
+	b.Li(21, 150)
+	b.Label("loop")
+
+	bodyLen := 10 + r.Intn(25)
+	for i := 0; i < bodyLen; i++ {
+		rd := isa.Reg(1 + r.Intn(8))
+		rs1 := isa.Reg(1 + r.Intn(8))
+		rs2 := isa.Reg(1 + r.Intn(8))
+		switch r.Intn(10) {
+		case 0:
+			b.Add(rd, rs1, rs2)
+		case 1:
+			b.Sub(rd, rs1, rs2)
+		case 2:
+			b.Xor(rd, rs1, rs2)
+		case 3:
+			b.Mul(rd, rs1, rs2)
+		case 4:
+			b.Srli(rd, rs1, int64(r.Intn(63)))
+		case 5: // load of random width
+			size := []int{1, 2, 4, 8}[r.Intn(4)]
+			off := int64(r.Intn(bufWords*8/size) * size)
+			switch size {
+			case 1:
+				b.Lb(rd, off, 20)
+			case 2:
+				b.Lh(rd, off, 20)
+			case 4:
+				b.Lwu(rd, off, 20)
+			case 8:
+				b.Ld(rd, off, 20)
+			}
+		case 6, 7: // store of random width
+			size := []int{1, 2, 4, 8}[r.Intn(4)]
+			off := int64(r.Intn(bufWords*8/size) * size)
+			switch size {
+			case 1:
+				b.Sb(rs1, off, 20)
+			case 2:
+				b.Sh2(rs1, off, 20)
+			case 4:
+				b.Sw(rs1, off, 20)
+			case 8:
+				b.Sd(rs1, off, 20)
+			}
+		case 8: // data-dependent forward skip (both paths converge)
+			label := fmt.Sprintf("skip%s_%d", name, i)
+			b.Beq(rs1, rs2, label)
+			b.Add(rd, rs1, rs2)
+			b.Xor(rd, rd, rs1)
+			b.Label(label)
+		case 9:
+			b.Slt(rd, rs1, rs2)
+		}
+	}
+	b.Addi(21, 21, -1)
+	b.Bne(21, 0, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// TestRandomProgramsDifferential is the repository's fuzz harness: random
+// programs must retire identically (golden-model validation is built into
+// Run) on both memory subsystems and several structure sizes, including
+// deliberately tiny SFC/MDT geometries that maximize replays and bypasses.
+func TestRandomProgramsDifferential(t *testing.T) {
+	n := 12
+	if testing.Short() {
+		n = 3
+	}
+	for seed := 0; seed < n; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			r := rand.New(rand.NewSource(int64(seed) * 7919))
+			img := randomProgram(r, fmt.Sprintf("s%d", seed))
+			cfgs := []Config{
+				{
+					Name: "rand-mdtsfc", Width: 4, ROBSize: 64, MemSys: MemMDTSFC,
+					MDT:  core.MDTConfig{Sets: 64, Ways: 2, GranBytes: 8, Tagged: true},
+					SFC:  core.SFCConfig{Sets: 16, Ways: 2},
+					Pred: core.PredictorConfig{Mode: core.PredPairwise}, MaxInsts: 6000,
+				},
+				{
+					Name: "rand-mdtsfc-tiny", Width: 8, ROBSize: 128, MemSys: MemMDTSFC,
+					MDT:  core.MDTConfig{Sets: 2, Ways: 1, GranBytes: 8, Tagged: true},
+					SFC:  core.SFCConfig{Sets: 2, Ways: 1},
+					Pred: core.PredictorConfig{Mode: core.PredTotalOrder}, MaxInsts: 6000,
+				},
+				{
+					Name: "rand-mdtsfc-endpoints", Width: 4, ROBSize: 64, MemSys: MemMDTSFC,
+					MDT:  core.MDTConfig{Sets: 64, Ways: 2, GranBytes: 8, Tagged: true},
+					SFC:  core.SFCConfig{Sets: 16, Ways: 2, FlushEndpoints: 2},
+					Pred: core.PredictorConfig{Mode: core.PredPairwise}, MaxInsts: 6000,
+				},
+				{
+					Name: "rand-lsq", Width: 4, ROBSize: 64, MemSys: MemLSQ,
+					LSQ:  core.LSQConfig{LoadEntries: 16, StoreEntries: 12},
+					Pred: core.PredictorConfig{Mode: core.PredTrueOnly}, MaxInsts: 6000,
+				},
+				{
+					Name: "rand-mdtsfc-svw", Width: 4, ROBSize: 64, MemSys: MemMDTSFC,
+					MDT:       core.MDTConfig{Sets: 4, Ways: 2, GranBytes: 8, Tagged: true},
+					SFC:       core.SFCConfig{Sets: 16, Ways: 2},
+					Pred:      core.PredictorConfig{Mode: core.PredPairwise},
+					SVWFilter: true, MaxInsts: 6000,
+				},
+				{
+					Name: "rand-mvsfc", Width: 4, ROBSize: 64, MemSys: MemMVSFC,
+					MDT:   core.MDTConfig{Sets: 64, Ways: 2, GranBytes: 8, Tagged: true},
+					MVSFC: core.MVSFCConfig{Sets: 8, Ways: 2, Versions: 2},
+					Pred:  core.PredictorConfig{Mode: core.PredTrueOnly}, MaxInsts: 6000,
+				},
+				{
+					Name: "rand-value-replay", Width: 4, ROBSize: 64, MemSys: MemValueReplay,
+					LSQ:  core.LSQConfig{LoadEntries: 16, StoreEntries: 12},
+					Pred: core.PredictorConfig{Mode: core.PredOff}, MaxInsts: 6000,
+				},
+			}
+			for _, cfg := range cfgs {
+				p, err := New(cfg, img)
+				if err != nil {
+					t.Fatalf("%s: %v", cfg.Name, err)
+				}
+				if _, err := p.Run(); err != nil {
+					t.Errorf("%s: %v", cfg.Name, err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,109 @@
+package prog
+
+import (
+	"testing"
+
+	"sfcmdt/internal/isa"
+)
+
+// TestEveryEmitter drives every Builder emitter once and checks the emitted
+// opcode, keeping the ergonomic surface covered and honest.
+func TestEveryEmitter(t *testing.T) {
+	b := NewBuilder("all")
+	b.Label("l")
+	type step struct {
+		emit func()
+		want isa.Op
+	}
+	steps := []step{
+		{func() { b.Add(1, 2, 3) }, isa.OpAdd},
+		{func() { b.Sub(1, 2, 3) }, isa.OpSub},
+		{func() { b.And(1, 2, 3) }, isa.OpAnd},
+		{func() { b.Or(1, 2, 3) }, isa.OpOr},
+		{func() { b.Xor(1, 2, 3) }, isa.OpXor},
+		{func() { b.Sll(1, 2, 3) }, isa.OpSll},
+		{func() { b.Srl(1, 2, 3) }, isa.OpSrl},
+		{func() { b.Sra(1, 2, 3) }, isa.OpSra},
+		{func() { b.Slt(1, 2, 3) }, isa.OpSlt},
+		{func() { b.Sltu(1, 2, 3) }, isa.OpSltu},
+		{func() { b.Mul(1, 2, 3) }, isa.OpMul},
+		{func() { b.Div(1, 2, 3) }, isa.OpDiv},
+		{func() { b.Rem(1, 2, 3) }, isa.OpRem},
+		{func() { b.Addi(1, 2, 4) }, isa.OpAddi},
+		{func() { b.Andi(1, 2, 4) }, isa.OpAndi},
+		{func() { b.Ori(1, 2, 4) }, isa.OpOri},
+		{func() { b.Xori(1, 2, 4) }, isa.OpXori},
+		{func() { b.Slli(1, 2, 4) }, isa.OpSlli},
+		{func() { b.Srli(1, 2, 4) }, isa.OpSrli},
+		{func() { b.Srai(1, 2, 4) }, isa.OpSrai},
+		{func() { b.Slti(1, 2, 4) }, isa.OpSlti},
+		{func() { b.Mov(1, 2) }, isa.OpAddi},
+		{func() { b.Lb(1, 0, 2) }, isa.OpLb},
+		{func() { b.Lbu(1, 0, 2) }, isa.OpLbu},
+		{func() { b.Lh(1, 0, 2) }, isa.OpLh},
+		{func() { b.Lhu(1, 0, 2) }, isa.OpLhu},
+		{func() { b.Lw(1, 0, 2) }, isa.OpLw},
+		{func() { b.Lwu(1, 0, 2) }, isa.OpLwu},
+		{func() { b.Ld(1, 0, 2) }, isa.OpLd},
+		{func() { b.Sb(1, 0, 2) }, isa.OpSb},
+		{func() { b.Sh2(1, 0, 2) }, isa.OpSh},
+		{func() { b.Sw(1, 0, 2) }, isa.OpSw},
+		{func() { b.Sd(1, 0, 2) }, isa.OpSd},
+		{func() { b.Beq(1, 2, "l") }, isa.OpBeq},
+		{func() { b.Bne(1, 2, "l") }, isa.OpBne},
+		{func() { b.Blt(1, 2, "l") }, isa.OpBlt},
+		{func() { b.Bge(1, 2, "l") }, isa.OpBge},
+		{func() { b.Bltu(1, 2, "l") }, isa.OpBltu},
+		{func() { b.Bgeu(1, 2, "l") }, isa.OpBgeu},
+		{func() { b.Jal(1, "l") }, isa.OpJal},
+		{func() { b.J("l") }, isa.OpJal},
+		{func() { b.Call("l") }, isa.OpJal},
+		{func() { b.Jalr(1, 0, 2) }, isa.OpJalr},
+		{func() { b.Ret() }, isa.OpJalr},
+		{func() { b.Nop() }, isa.OpNop},
+		{func() { b.Halt() }, isa.OpHalt},
+	}
+	for i, s := range steps {
+		before := b.PC()
+		s.emit()
+		if b.PC() != before+4 {
+			t.Fatalf("step %d emitted %d instructions", i, (b.PC()-before)/4)
+		}
+	}
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range steps {
+		if img.Code[i].Op != s.want {
+			t.Errorf("step %d: op %v, want %v", i, img.Code[i].Op, s.want)
+		}
+	}
+	// Offset-range validation on loads and stores.
+	b2 := NewBuilder("range")
+	b2.Ld(1, 1<<20, 2)
+	if _, err := b2.Build(); err == nil {
+		t.Error("out-of-range load offset accepted")
+	}
+	b3 := NewBuilder("range2")
+	b3.Sd(1, -(1 << 20), 2)
+	if _, err := b3.Build(); err == nil {
+		t.Error("out-of-range store offset accepted")
+	}
+	b4 := NewBuilder("range3")
+	b4.Jalr(1, 1<<20, 2)
+	if _, err := b4.Build(); err == nil {
+		t.Error("out-of-range jalr offset accepted")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild must panic on errors")
+		}
+	}()
+	b := NewBuilder("bad")
+	b.J("nowhere")
+	b.MustBuild()
+}

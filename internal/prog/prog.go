@@ -1,0 +1,331 @@
+// Package prog represents executable program images for the simulators: a
+// code segment of fixed-width instructions, a data segment, and an entry
+// point. A Builder provides programmatic assembly with labels, which the
+// synthetic workload generators use to construct benchmark programs.
+package prog
+
+import (
+	"fmt"
+
+	"sfcmdt/internal/isa"
+)
+
+// Default segment placement. Code and data are disjoint; the data segment
+// leaves headroom below for a stack (stack pointer convention: r29).
+const (
+	DefaultCodeBase uint64 = 0x0000_0000_0001_0000
+	DefaultDataBase uint64 = 0x0000_0000_1000_0000
+	DefaultStackTop uint64 = 0x0000_0000_0800_0000
+)
+
+// Image is a loaded program.
+type Image struct {
+	Name     string
+	CodeBase uint64
+	Code     []isa.Inst
+	DataBase uint64
+	Data     []byte
+	Entry    uint64
+}
+
+// CodeLimit returns the first address past the code segment.
+func (im *Image) CodeLimit() uint64 { return im.CodeBase + uint64(len(im.Code))*4 }
+
+// InstAt returns the instruction at the given PC and whether the PC lies
+// within the code segment.
+func (im *Image) InstAt(pc uint64) (isa.Inst, bool) {
+	if pc < im.CodeBase || pc >= im.CodeLimit() || pc%4 != 0 {
+		return isa.Inst{}, false
+	}
+	return im.Code[(pc-im.CodeBase)/4], true
+}
+
+// fixup records a branch or jump whose label target must be patched.
+type fixup struct {
+	index int    // instruction index in code
+	label string // target label
+}
+
+// Builder assembles a program programmatically.
+type Builder struct {
+	name     string
+	codeBase uint64
+	dataBase uint64
+	code     []isa.Inst
+	data     []byte
+	labels   map[string]int // label -> instruction index
+	fixups   []fixup
+	errs     []error
+}
+
+// NewBuilder returns a Builder with default segment placement.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:     name,
+		codeBase: DefaultCodeBase,
+		dataBase: DefaultDataBase,
+		labels:   make(map[string]int),
+	}
+}
+
+func (b *Builder) errf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf("prog: %s: "+format, append([]any{b.name}, args...)...))
+}
+
+// Emit appends a raw instruction.
+func (b *Builder) Emit(in isa.Inst) {
+	b.code = append(b.code, in)
+}
+
+// Label defines a label at the current code position.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.errf("duplicate label %q", name)
+		return
+	}
+	b.labels[name] = len(b.code)
+}
+
+// PC returns the address of the next instruction to be emitted.
+func (b *Builder) PC() uint64 { return b.codeBase + uint64(len(b.code))*4 }
+
+// --- data segment ---
+
+// Alloc reserves n bytes in the data segment aligned to align (a power of
+// two) and returns the virtual address of the block.
+func (b *Builder) Alloc(n int, align int) uint64 {
+	if align <= 0 || align&(align-1) != 0 {
+		b.errf("bad alignment %d", align)
+		align = 8
+	}
+	for len(b.data)%align != 0 {
+		b.data = append(b.data, 0)
+	}
+	addr := b.dataBase + uint64(len(b.data))
+	b.data = append(b.data, make([]byte, n)...)
+	return addr
+}
+
+// AllocAt pads the data segment so the next allocation begins at the given
+// offset from the data base, then allocates n bytes there. It is used by
+// workloads that need structures at exact address spacings (e.g. to force
+// SFC or MDT set conflicts). The offset must be >= the current segment size.
+func (b *Builder) AllocAt(offset uint64, n int) uint64 {
+	if uint64(len(b.data)) > offset {
+		b.errf("AllocAt offset %#x is before current end %#x", offset, len(b.data))
+		return b.Alloc(n, 8)
+	}
+	b.data = append(b.data, make([]byte, offset-uint64(len(b.data)))...)
+	addr := b.dataBase + uint64(len(b.data))
+	b.data = append(b.data, make([]byte, n)...)
+	return addr
+}
+
+// Word64 allocates and initializes a sequence of 8-byte words, returning the
+// address of the first.
+func (b *Builder) Word64(vals ...uint64) uint64 {
+	addr := b.Alloc(len(vals)*8, 8)
+	off := addr - b.dataBase
+	for i, v := range vals {
+		putUint64(b.data[off+uint64(i)*8:], v)
+	}
+	return addr
+}
+
+// SetWord64 initializes one 8-byte word at a previously allocated address.
+func (b *Builder) SetWord64(addr uint64, v uint64) {
+	off := addr - b.dataBase
+	if off+8 > uint64(len(b.data)) {
+		b.errf("SetWord64 at %#x outside data segment", addr)
+		return
+	}
+	putUint64(b.data[off:], v)
+}
+
+func putUint64(p []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		p[i] = byte(v >> (8 * i))
+	}
+}
+
+// --- instruction helpers ---
+
+func (b *Builder) r3(op isa.Op, rd, rs1, rs2 isa.Reg) {
+	b.Emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+func (b *Builder) imm(op isa.Op, rd, rs1 isa.Reg, imm int64) {
+	if imm < -(1<<15) || imm >= 1<<15 {
+		b.errf("%s immediate %d out of range", op, imm)
+	}
+	b.Emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: int32(imm)})
+}
+
+func (b *Builder) Add(rd, rs1, rs2 isa.Reg)  { b.r3(isa.OpAdd, rd, rs1, rs2) }
+func (b *Builder) Sub(rd, rs1, rs2 isa.Reg)  { b.r3(isa.OpSub, rd, rs1, rs2) }
+func (b *Builder) And(rd, rs1, rs2 isa.Reg)  { b.r3(isa.OpAnd, rd, rs1, rs2) }
+func (b *Builder) Or(rd, rs1, rs2 isa.Reg)   { b.r3(isa.OpOr, rd, rs1, rs2) }
+func (b *Builder) Xor(rd, rs1, rs2 isa.Reg)  { b.r3(isa.OpXor, rd, rs1, rs2) }
+func (b *Builder) Sll(rd, rs1, rs2 isa.Reg)  { b.r3(isa.OpSll, rd, rs1, rs2) }
+func (b *Builder) Srl(rd, rs1, rs2 isa.Reg)  { b.r3(isa.OpSrl, rd, rs1, rs2) }
+func (b *Builder) Sra(rd, rs1, rs2 isa.Reg)  { b.r3(isa.OpSra, rd, rs1, rs2) }
+func (b *Builder) Slt(rd, rs1, rs2 isa.Reg)  { b.r3(isa.OpSlt, rd, rs1, rs2) }
+func (b *Builder) Sltu(rd, rs1, rs2 isa.Reg) { b.r3(isa.OpSltu, rd, rs1, rs2) }
+func (b *Builder) Mul(rd, rs1, rs2 isa.Reg)  { b.r3(isa.OpMul, rd, rs1, rs2) }
+func (b *Builder) Div(rd, rs1, rs2 isa.Reg)  { b.r3(isa.OpDiv, rd, rs1, rs2) }
+func (b *Builder) Rem(rd, rs1, rs2 isa.Reg)  { b.r3(isa.OpRem, rd, rs1, rs2) }
+
+func (b *Builder) Addi(rd, rs1 isa.Reg, v int64) { b.imm(isa.OpAddi, rd, rs1, v) }
+func (b *Builder) Andi(rd, rs1 isa.Reg, v int64) { b.imm(isa.OpAndi, rd, rs1, v) }
+func (b *Builder) Ori(rd, rs1 isa.Reg, v int64)  { b.imm(isa.OpOri, rd, rs1, v) }
+func (b *Builder) Xori(rd, rs1 isa.Reg, v int64) { b.imm(isa.OpXori, rd, rs1, v) }
+func (b *Builder) Slli(rd, rs1 isa.Reg, v int64) { b.imm(isa.OpSlli, rd, rs1, v) }
+func (b *Builder) Srli(rd, rs1 isa.Reg, v int64) { b.imm(isa.OpSrli, rd, rs1, v) }
+func (b *Builder) Srai(rd, rs1 isa.Reg, v int64) { b.imm(isa.OpSrai, rd, rs1, v) }
+func (b *Builder) Slti(rd, rs1 isa.Reg, v int64) { b.imm(isa.OpSlti, rd, rs1, v) }
+
+func (b *Builder) Nop()  { b.Emit(isa.Inst{Op: isa.OpNop}) }
+func (b *Builder) Halt() { b.Emit(isa.Inst{Op: isa.OpHalt}) }
+
+// Mov copies rs1 into rd.
+func (b *Builder) Mov(rd, rs1 isa.Reg) { b.imm(isa.OpAddi, rd, rs1, 0) }
+
+// Li loads an arbitrary 64-bit constant with the minimal MOVZ/MOVK sequence.
+func (b *Builder) Li(rd isa.Reg, v uint64) {
+	if int64(v) >= -(1<<15) && int64(v) < 1<<15 {
+		b.imm(isa.OpAddi, rd, isa.Zero, int64(v))
+		return
+	}
+	emitted := false
+	for sh := uint8(0); sh < 4; sh++ {
+		chunk := int32(v >> (16 * sh) & 0xFFFF)
+		if chunk == 0 && !(sh == 3 && !emitted) {
+			continue
+		}
+		op := isa.OpMovk
+		if !emitted {
+			op = isa.OpMovz
+		}
+		b.Emit(isa.Inst{Op: op, Rd: rd, Imm: chunk, Sh: sh})
+		emitted = true
+	}
+	if !emitted {
+		b.Emit(isa.Inst{Op: isa.OpMovz, Rd: rd, Imm: 0, Sh: 0})
+	}
+}
+
+// La loads the address of a data-segment location (same as Li).
+func (b *Builder) La(rd isa.Reg, addr uint64) { b.Li(rd, addr) }
+
+func (b *Builder) load(op isa.Op, rd isa.Reg, off int64, base isa.Reg) {
+	if off < -(1<<15) || off >= 1<<15 {
+		b.errf("%s offset %d out of range", op, off)
+	}
+	b.Emit(isa.Inst{Op: op, Rd: rd, Rs1: base, Imm: int32(off)})
+}
+
+func (b *Builder) store(op isa.Op, rs2 isa.Reg, off int64, base isa.Reg) {
+	if off < -(1<<15) || off >= 1<<15 {
+		b.errf("%s offset %d out of range", op, off)
+	}
+	b.Emit(isa.Inst{Op: op, Rs2: rs2, Rs1: base, Imm: int32(off)})
+}
+
+func (b *Builder) Lb(rd isa.Reg, off int64, base isa.Reg)  { b.load(isa.OpLb, rd, off, base) }
+func (b *Builder) Lbu(rd isa.Reg, off int64, base isa.Reg) { b.load(isa.OpLbu, rd, off, base) }
+func (b *Builder) Lh(rd isa.Reg, off int64, base isa.Reg)  { b.load(isa.OpLh, rd, off, base) }
+func (b *Builder) Lhu(rd isa.Reg, off int64, base isa.Reg) { b.load(isa.OpLhu, rd, off, base) }
+func (b *Builder) Lw(rd isa.Reg, off int64, base isa.Reg)  { b.load(isa.OpLw, rd, off, base) }
+func (b *Builder) Lwu(rd isa.Reg, off int64, base isa.Reg) { b.load(isa.OpLwu, rd, off, base) }
+func (b *Builder) Ld(rd isa.Reg, off int64, base isa.Reg)  { b.load(isa.OpLd, rd, off, base) }
+
+func (b *Builder) Sb(rs2 isa.Reg, off int64, base isa.Reg) { b.store(isa.OpSb, rs2, off, base) }
+func (b *Builder) Sh2(rs2 isa.Reg, off int64, base isa.Reg) {
+	b.store(isa.OpSh, rs2, off, base)
+}
+func (b *Builder) Sw(rs2 isa.Reg, off int64, base isa.Reg) { b.store(isa.OpSw, rs2, off, base) }
+func (b *Builder) Sd(rs2 isa.Reg, off int64, base isa.Reg) { b.store(isa.OpSd, rs2, off, base) }
+
+func (b *Builder) branch(op isa.Op, rs1, rs2 isa.Reg, label string) {
+	b.fixups = append(b.fixups, fixup{len(b.code), label})
+	b.Emit(isa.Inst{Op: op, Rs1: rs1, Rs2: rs2})
+}
+
+func (b *Builder) Beq(rs1, rs2 isa.Reg, label string)  { b.branch(isa.OpBeq, rs1, rs2, label) }
+func (b *Builder) Bne(rs1, rs2 isa.Reg, label string)  { b.branch(isa.OpBne, rs1, rs2, label) }
+func (b *Builder) Blt(rs1, rs2 isa.Reg, label string)  { b.branch(isa.OpBlt, rs1, rs2, label) }
+func (b *Builder) Bge(rs1, rs2 isa.Reg, label string)  { b.branch(isa.OpBge, rs1, rs2, label) }
+func (b *Builder) Bltu(rs1, rs2 isa.Reg, label string) { b.branch(isa.OpBltu, rs1, rs2, label) }
+func (b *Builder) Bgeu(rs1, rs2 isa.Reg, label string) { b.branch(isa.OpBgeu, rs1, rs2, label) }
+
+// Jal emits a jump-and-link to a label.
+func (b *Builder) Jal(rd isa.Reg, label string) {
+	b.fixups = append(b.fixups, fixup{len(b.code), label})
+	b.Emit(isa.Inst{Op: isa.OpJal, Rd: rd})
+}
+
+// J emits an unconditional jump (JAL with no link).
+func (b *Builder) J(label string) { b.Jal(isa.Zero, label) }
+
+// Jalr emits an indirect jump-and-link.
+func (b *Builder) Jalr(rd isa.Reg, off int64, base isa.Reg) {
+	if off < -(1<<15) || off >= 1<<15 {
+		b.errf("jalr offset %d out of range", off)
+	}
+	b.Emit(isa.Inst{Op: isa.OpJalr, Rd: rd, Rs1: base, Imm: int32(off)})
+}
+
+// Ret returns through the link register.
+func (b *Builder) Ret() { b.Jalr(isa.Zero, 0, isa.LinkReg) }
+
+// Call emits a JAL that links through the conventional link register.
+func (b *Builder) Call(label string) { b.Jal(isa.LinkReg, label) }
+
+// Build resolves labels and returns the finished image.
+func (b *Builder) Build() (*Image, error) {
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			b.errf("undefined label %q", f.label)
+			continue
+		}
+		// Offset is in instructions relative to the *next* PC.
+		off := target - (f.index + 1)
+		in := &b.code[f.index]
+		if in.Op == isa.OpJal {
+			if off < -(1<<20) || off >= 1<<20 {
+				b.errf("jal to %q: offset %d out of range", f.label, off)
+			}
+		} else {
+			if off < -(1<<15) || off >= 1<<15 {
+				b.errf("branch to %q: offset %d out of range", f.label, off)
+			}
+		}
+		in.Imm = int32(off)
+	}
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	code := make([]isa.Inst, len(b.code))
+	copy(code, b.code)
+	data := make([]byte, len(b.data))
+	copy(data, b.data)
+	return &Image{
+		Name:     b.name,
+		CodeBase: b.codeBase,
+		Code:     code,
+		DataBase: b.dataBase,
+		Data:     data,
+		Entry:    b.codeBase,
+	}, nil
+}
+
+// MustBuild is Build but panics on error; used by workload generators whose
+// programs are fixed at development time.
+func (b *Builder) MustBuild() *Image {
+	im, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return im
+}

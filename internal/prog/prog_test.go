@@ -1,0 +1,152 @@
+package prog
+
+import (
+	"testing"
+
+	"sfcmdt/internal/isa"
+)
+
+func TestBuilderLabelsAndBranches(t *testing.T) {
+	b := NewBuilder("labels")
+	b.Label("start")
+	b.Nop()            // 0
+	b.Beq(1, 2, "end") // 1: forward branch
+	b.Nop()            // 2
+	b.J("start")       // 3: backward jump
+	b.Label("end")
+	b.Halt() // 4
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// beq at index 1: target 4, offset = 4 - 2 = 2
+	if img.Code[1].Imm != 2 {
+		t.Errorf("forward branch offset %d, want 2", img.Code[1].Imm)
+	}
+	// jal at index 3: target 0, offset = 0 - 4 = -4
+	if img.Code[3].Imm != -4 {
+		t.Errorf("backward jump offset %d, want -4", img.Code[3].Imm)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder("dup")
+	b.Label("x")
+	b.Label("x")
+	if _, err := b.Build(); err == nil {
+		t.Error("duplicate label accepted")
+	}
+	b = NewBuilder("undef")
+	b.J("nowhere")
+	if _, err := b.Build(); err == nil {
+		t.Error("undefined label accepted")
+	}
+	b = NewBuilder("range")
+	b.Addi(1, 1, 1<<20)
+	if _, err := b.Build(); err == nil {
+		t.Error("out-of-range immediate accepted")
+	}
+}
+
+func TestDataLayout(t *testing.T) {
+	b := NewBuilder("data")
+	a := b.Alloc(3, 1)
+	w := b.Word64(0xDEAD, 0xBEEF)
+	if w%8 != 0 {
+		t.Errorf("Word64 not aligned: %#x", w)
+	}
+	if w < a+3 {
+		t.Error("allocations overlap")
+	}
+	at := b.AllocAt(0x1000, 8)
+	if at != DefaultDataBase+0x1000 {
+		t.Errorf("AllocAt placed %#x", at)
+	}
+	b.SetWord64(at, 77)
+	b.Halt()
+	img := b.MustBuild()
+	// Verify initialization survived into the image.
+	off := w - img.DataBase
+	if img.Data[off] != 0xAD || img.Data[off+1] != 0xDE {
+		t.Error("Word64 bytes wrong")
+	}
+	if img.Data[at-img.DataBase] != 77 {
+		t.Error("SetWord64 bytes wrong")
+	}
+}
+
+func TestAllocAtBackwardsFails(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Alloc(64, 8)
+	b.AllocAt(8, 8) // before current end
+	b.Halt()
+	if _, err := b.Build(); err == nil {
+		t.Error("backwards AllocAt accepted")
+	}
+}
+
+func TestInstAt(t *testing.T) {
+	b := NewBuilder("instat")
+	b.Nop()
+	b.Halt()
+	img := b.MustBuild()
+	if in, ok := img.InstAt(img.CodeBase); !ok || in.Op != isa.OpNop {
+		t.Error("InstAt base failed")
+	}
+	if in, ok := img.InstAt(img.CodeBase + 4); !ok || in.Op != isa.OpHalt {
+		t.Error("InstAt second failed")
+	}
+	if _, ok := img.InstAt(img.CodeBase + 8); ok {
+		t.Error("InstAt past end succeeded")
+	}
+	if _, ok := img.InstAt(img.CodeBase + 2); ok {
+		t.Error("InstAt misaligned succeeded")
+	}
+	if _, ok := img.InstAt(img.CodeBase - 4); ok {
+		t.Error("InstAt below base succeeded")
+	}
+	if img.CodeLimit() != img.CodeBase+8 {
+		t.Error("CodeLimit wrong")
+	}
+}
+
+func TestLiWidths(t *testing.T) {
+	// Li must emit minimal sequences: small constants in one ADDI,
+	// full-width constants in at most 4 MOVZ/MOVK.
+	b := NewBuilder("li")
+	b.Li(1, 5)
+	n1 := len(mustCode(t, b))
+	if n1 != 1 {
+		t.Errorf("Li(5) used %d instructions", n1)
+	}
+	bneg := NewBuilder("lineg")
+	bneg.Li(1, 0xFFFF_FFFF_FFFF_FFFF) // -1 fits a single sign-extended ADDI
+	if n := len(mustCode(t, bneg)); n != 1 {
+		t.Errorf("Li(-1) used %d instructions, want 1", n)
+	}
+	b2 := NewBuilder("li2")
+	b2.Li(1, 0x0123456789ABCDEF)
+	if n := len(mustCode(t, b2)); n != 4 {
+		t.Errorf("Li(wide) used %d instructions, want 4", n)
+	}
+	b3 := NewBuilder("li3")
+	b3.Li(1, 0x10000) // single chunk at shift 1
+	if n := len(mustCode(t, b3)); n != 1 {
+		t.Errorf("Li(0x10000) used %d instructions, want 1", n)
+	}
+	b4 := NewBuilder("li4")
+	b4.Li(1, 0)
+	if n := len(mustCode(t, b4)); n != 1 {
+		t.Errorf("Li(0) used %d instructions, want 1", n)
+	}
+}
+
+func mustCode(t *testing.T, b *Builder) []isa.Inst {
+	t.Helper()
+	b.Halt()
+	img, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img.Code[:len(img.Code)-1]
+}

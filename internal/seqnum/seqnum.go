@@ -1,0 +1,60 @@
+// Package seqnum provides the sequence numbers that impose a total order on
+// all in-flight loads and stores, as required by the memory disambiguation
+// table (MDT). The paper notes that "techniques for efficiently assigning
+// sequence numbers to loads and stores (and for handling sequence number
+// overflow) are well known"; this package supplies one such technique: a
+// monotonically increasing counter together with a wraparound-safe
+// comparison, so that correctness is preserved even if the counter wraps,
+// provided fewer than 2^63 instructions are simultaneously in flight (true
+// for any physical machine and certainly for this simulator).
+package seqnum
+
+// Seq is the sequence number of a dynamic instruction. Sequence numbers are
+// assigned in program-fetch order and therefore totally order all in-flight
+// loads and stores.
+type Seq uint64
+
+// None is the zero Seq. The pipeline assigns sequence numbers starting at 1,
+// so None never names a real instruction and can be used as a sentinel.
+const None Seq = 0
+
+// Before reports whether a precedes b in program order, using wraparound-safe
+// modular comparison: a is before b iff the signed distance b-a is positive.
+func Before(a, b Seq) bool {
+	return int64(b-a) > 0
+}
+
+// After reports whether a follows b in program order.
+func After(a, b Seq) bool {
+	return int64(a-b) > 0
+}
+
+// Between reports whether x lies in the closed interval [lo, hi] in
+// program order. It is used, e.g., by flush-endpoint tracking, where the
+// SFC records the earliest and latest flushed sequence numbers.
+func Between(x, lo, hi Seq) bool {
+	return !Before(x, lo) && !After(x, hi)
+}
+
+// Allocator hands out sequence numbers in fetch order.
+type Allocator struct {
+	next Seq
+}
+
+// NewAllocator returns an allocator whose first Next call returns 1.
+func NewAllocator() *Allocator {
+	return &Allocator{next: 1}
+}
+
+// Next returns the next sequence number.
+func (a *Allocator) Next() Seq {
+	s := a.next
+	a.next++
+	if a.next == None {
+		a.next++ // skip the sentinel on wraparound
+	}
+	return s
+}
+
+// Peek returns the sequence number the next call to Next will return.
+func (a *Allocator) Peek() Seq { return a.next }

@@ -1,0 +1,99 @@
+package seqnum
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOrder(t *testing.T) {
+	if !Before(1, 2) || Before(2, 1) || Before(3, 3) {
+		t.Error("Before misordered small values")
+	}
+	if !After(2, 1) || After(1, 2) || After(3, 3) {
+		t.Error("After misordered small values")
+	}
+}
+
+func TestWraparound(t *testing.T) {
+	max := ^Seq(0)
+	postWrap := max + 2 // wraps to 1
+	// Near the wrap point, max-1 is "before" max+2 (post-wrap).
+	if !Before(max-1, postWrap) {
+		t.Error("wraparound compare failed")
+	}
+	if After(max-1, postWrap) {
+		t.Error("wraparound After failed")
+	}
+}
+
+func TestBetween(t *testing.T) {
+	if !Between(5, 3, 7) || Between(2, 3, 7) || Between(8, 3, 7) {
+		t.Error("Between wrong on interior/exterior")
+	}
+	if !Between(3, 3, 7) || !Between(7, 3, 7) {
+		t.Error("Between must be inclusive")
+	}
+}
+
+// Property: for sequence numbers within half the space of each other,
+// Before/After are irreflexive, antisymmetric, and mutually exclusive.
+func TestOrderProperties(t *testing.T) {
+	f := func(a uint64, delta uint32) bool {
+		x := Seq(a)
+		y := x + Seq(delta)
+		if x == y {
+			return !Before(x, y) && !After(x, y)
+		}
+		if Before(x, y) == Before(y, x) {
+			return false
+		}
+		return Before(x, y) == After(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Between(x, lo, hi) iff neither x before lo nor x after hi.
+func TestBetweenProperty(t *testing.T) {
+	f := func(base uint64, dx, dhi uint16) bool {
+		lo := Seq(base)
+		hi := lo + Seq(dhi)
+		x := lo + Seq(dx)
+		want := uint64(dx) <= uint64(dhi)
+		return Between(x, lo, hi) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocator(t *testing.T) {
+	a := NewAllocator()
+	if a.Peek() != 1 {
+		t.Fatalf("first seq should be 1, got %d", a.Peek())
+	}
+	prev := Seq(None)
+	for i := 0; i < 1000; i++ {
+		s := a.Next()
+		if s == None {
+			t.Fatal("allocator returned the sentinel")
+		}
+		if prev != None && !After(s, prev) {
+			t.Fatalf("non-monotonic: %d after %d", s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestAllocatorSkipsSentinelOnWrap(t *testing.T) {
+	a := &Allocator{next: ^Seq(0)}
+	s1 := a.Next()
+	s2 := a.Next()
+	if s1 != ^Seq(0) {
+		t.Fatalf("got %d", s1)
+	}
+	if s2 == None {
+		t.Fatal("allocator returned the sentinel after wrap")
+	}
+}

@@ -1,0 +1,439 @@
+package workload
+
+import "sfcmdt/internal/prog"
+
+// The FP-class workloads model SPECfp codes with integer programs whose
+// arithmetic runs on the long-latency MUL/DIV units, reproducing the long
+// dependence chains and regular array traversals of the originals (see
+// DESIGN.md substitution table).
+
+func init() {
+	register(Workload{
+		Name:         "ammp",
+		Class:        FP,
+		InAggressive: true,
+		Pathology: "molecular dynamics: neighbour-list indirection, long MUL chains, and an " +
+			"unpredictable cutoff branch followed by force stores — corruption-prone " +
+			"like the paper's ammp",
+		Build: buildAmmp,
+	})
+	register(Workload{
+		Name:         "applu",
+		Class:        FP,
+		InAggressive: true,
+		Pathology:    "dense SSOR sweep: 5-point stencil, predictable control, streaming loads/stores",
+		Build:        buildApplu,
+	})
+	register(Workload{
+		Name:         "apsi",
+		Class:        FP,
+		InAggressive: true,
+		Pathology:    "meteorology kernels: several array sweeps with mixed MUL/DIV chains",
+		Build:        buildApsi,
+	})
+	register(Workload{
+		Name:         "art",
+		Class:        FP,
+		InAggressive: true,
+		Pathology:    "neural-net recognition: streaming weight traversal, MUL-accumulate, large footprint",
+		Build:        buildArt,
+	})
+	register(Workload{
+		Name:         "equake",
+		Class:        FP,
+		InAggressive: true,
+		Pathology: "sparse matrix-vector product: variable-length rows make the inner-loop exit " +
+			"branch unpredictable, with accumulating stores in flight — corruption-prone " +
+			"like the paper's equake",
+		Build: buildEquake,
+	})
+	register(Workload{
+		Name:  "mesa",
+		Class: FP,
+		// The paper's aggressive-processor results omit mesa ("results for
+		// mesa were not available due to a performance bug in the
+		// simulator's handling of system calls").
+		InAggressive: false,
+		Pathology: "3D rasterization: transform MUL chains and framebuffer stores that often " +
+			"rewrite the same pixel (silent and output-dependent stores)",
+		Build: buildMesa,
+	})
+	register(Workload{
+		Name:         "mgrid",
+		Class:        FP,
+		InAggressive: true,
+		Pathology:    "multigrid relaxation: 3D stencil streaming loads, few stores, fully predictable",
+		Build:        buildMgrid,
+	})
+	register(Workload{
+		Name:         "swim",
+		Class:        FP,
+		InAggressive: true,
+		Pathology:    "shallow-water stencils: three-array streaming sweep with one store per element",
+		Build:        buildSwim,
+	})
+}
+
+// buildAmmp: for each atom, update the force array with a quickly computed
+// increment (plus a re-read of a force value stored a few atoms earlier),
+// then evaluate a cutoff test that depends on a widely scattered neighbour
+// position load. The stores complete early and sit in the SFC while the
+// cutoff branch resolves late off an L2 miss, so each mispredict is a
+// partial flush over live SFC entries — the paper's corruption pathology.
+func buildAmmp() *prog.Image {
+	b := prog.NewBuilder("ammp")
+	const atoms = 65536 // 3 x 512 KB: neighbour loads miss the L2
+	pos := b.Word64(words(0xa110, atoms)...)
+	stagger(b, 1)
+	force := b.Alloc(atoms*8, 8)
+	nbr := make([]uint64, atoms)
+	s := splitmix64(0xa2)
+	for i := range nbr {
+		nbr[i] = (s.next() % atoms) * 8
+	}
+	stagger(b, 2)
+	nbrs := b.Word64(nbr...)
+	b.La(1, pos)
+	b.La(2, force)
+	b.La(3, nbrs)
+	f := beginForever(b, 28, "outer")
+	b.Li(4, 4)
+	b.Li(5, atoms)
+	b.Label("atom")
+	b.Slli(6, 4, 3)
+	b.Add(11, 1, 6)
+	b.Ld(12, 0, 11) // own position (sequential, mostly fast)
+	// Quick force update: completes long before the cutoff resolves.
+	b.Mul(22, 12, 12)
+	b.Add(19, 2, 6)
+	b.Ld(21, -32, 19) // a force value stored a few atoms ago
+	b.Add(23, 22, 21)
+	b.Sd(23, 0, 19)
+	// Cutoff test on the scattered neighbour position (slow):
+	b.Add(7, 3, 6)
+	b.Ld(8, 0, 7) // neighbour offset
+	b.Add(9, 1, 8)
+	b.Ld(10, 0, 9) // neighbour position: random, misses the L2
+	b.Sub(13, 10, 12)
+	b.Srli(15, 13, 33)
+	b.Andi(16, 15, 1) // inside cutoff? resolves ~100 cycles late
+	b.Beq(16, rZ, "skip")
+	b.Ori(17, 10, 1)
+	b.Div(18, 12, 17) // long-latency interaction term
+	b.Add(24, 24, 18)
+	b.Label("skip")
+	b.Addi(4, 4, 1)
+	b.Blt(4, 5, "atom")
+	f.end()
+	return b.MustBuild()
+}
+
+// buildApplu: SSOR-style sweep: u[i] = (u[i-1] + u[i+1]) * w + u[i].
+func buildApplu() *prog.Image {
+	b := prog.NewBuilder("applu")
+	const n = 32768 // 256 KB field
+	u := b.Word64(words(0xa99, n)...)
+	b.La(1, u)
+	b.Li(2, 0x9d7) // weight
+	f := beginForever(b, 28, "outer")
+	b.Li(3, 1)
+	b.Li(4, n-1)
+	b.Label("sweep")
+	b.Slli(5, 3, 3)
+	b.Add(6, 1, 5)
+	b.Ld(7, -8, 6)
+	b.Ld(8, 8, 6)
+	b.Add(9, 7, 8)
+	b.Mul(10, 9, 2)
+	b.Ld(11, 0, 6)
+	b.Add(12, 10, 11)
+	b.Sd(12, 0, 6)
+	b.Addi(3, 3, 1)
+	b.Blt(3, 4, "sweep")
+	f.end()
+	return b.MustBuild()
+}
+
+// buildApsi: alternating sweeps over three fields with MUL/DIV mixing.
+func buildApsi() *prog.Image {
+	b := prog.NewBuilder("apsi")
+	const n = 16384 // 3 x 128 KB fields
+	t := b.Word64(words(0x4051, n)...)
+	stagger(b, 1)
+	q := b.Word64(words(0x4052, n)...)
+	stagger(b, 2)
+	w := b.Word64(words(0x4053, n)...)
+	b.La(1, t)
+	b.La(2, q)
+	b.La(3, w)
+	f := beginForever(b, 28, "outer")
+	b.Li(4, 0)
+	b.Li(5, n)
+	b.Label("sweep")
+	b.Slli(6, 4, 3)
+	b.Add(7, 1, 6)
+	b.Ld(8, 0, 7)
+	b.Add(9, 2, 6)
+	b.Ld(10, 0, 9)
+	b.Mul(11, 8, 10)
+	b.Ori(12, 8, 1)
+	b.Div(13, 10, 12)
+	b.Mul(16, 11, 11)
+	b.Srli(17, 16, 11)
+	b.Xor(18, 17, 13)
+	b.Add(14, 11, 18)
+	b.Add(15, 3, 6)
+	b.Sd(14, 0, 15)
+	b.Addi(4, 4, 1)
+	b.Blt(4, 5, "sweep")
+	f.end()
+	return b.MustBuild()
+}
+
+// buildArt: f1-layer simulation: y[j] += w[i][j] * x[i] streamed over a
+// weight matrix larger than the L1.
+func buildArt() *prog.Image {
+	b := prog.NewBuilder("art")
+	const in, out = 64, 2048 // 128K-word weight matrix (1 MB)
+	wts := b.Word64(words(0xa47, in*out)...)
+	stagger(b, 1)
+	x := b.Word64(words(0xa48, in)...)
+	stagger(b, 2)
+	y := b.Alloc(out*8, 8)
+	b.La(1, wts)
+	b.La(2, x)
+	b.La(3, y)
+	f := beginForever(b, 28, "outer")
+	b.Li(4, 0)
+	b.Li(5, in)
+	b.Mov(6, 1) // row pointer
+	b.Label("row")
+	b.Slli(7, 4, 3)
+	b.Add(8, 2, 7)
+	b.Ld(9, 0, 8) // x[i]
+	b.Li(10, 0)
+	b.Li(11, out)
+	b.Label("col")
+	b.Slli(12, 10, 3)
+	b.Add(13, 6, 12)
+	b.Ld(14, 0, 13) // w[i][j]
+	b.Mul(15, 14, 9)
+	b.Mul(18, 15, 15)
+	b.Srli(19, 18, 17)
+	b.Add(15, 15, 19)
+	b.Add(16, 3, 12)
+	b.Ld(17, 0, 16)
+	b.Add(17, 17, 15)
+	b.Sd(17, 0, 16) // y[j] update
+	b.Addi(10, 10, 1)
+	b.Blt(10, 11, "col")
+	b.Addi(6, 6, out*8)
+	b.Addi(4, 4, 1)
+	b.Blt(4, 5, "row")
+	f.end()
+	return b.MustBuild()
+}
+
+// buildEquake: CSR sparse matrix-vector product with sentinel-terminated
+// rows: the inner loop exits when it loads a zero value, so the exit branch
+// resolves only when the (frequently L2-missing) load returns. The running
+// row sum is stored (read-modify-write) after every element, so mispredicted
+// exits are partial flushes over live SFC entries and re-fetched elements
+// replay on corruption — the paper's equake pathology.
+func buildEquake() *prog.Image {
+	b := prog.NewBuilder("equake")
+	const rows = 8192
+	const maxLen = 8
+	s := splitmix64(0xe9)
+	var vals, cols []uint64
+	for r := 0; r < rows; r++ {
+		n := 1 + s.next()%maxLen
+		for k := uint64(0); k < n; k++ {
+			vals = append(vals, s.next()|1) // never the sentinel
+			cols = append(cols, (s.next()%rows)*8)
+		}
+		vals = append(vals, 0) // sentinel ends the row
+		cols = append(cols, 0)
+	}
+	valArr := b.Word64(vals...)
+	stagger(b, 1)
+	colArr := b.Word64(cols...)
+	stagger(b, 2)
+	x := b.Word64(words(0xe11, rows)...)
+	stagger(b, 3)
+	y := b.Alloc(rows*8, 8)
+	b.La(1, valArr)
+	b.La(2, colArr)
+	b.La(4, x)
+	b.La(5, y)
+	f := beginForever(b, 28, "outer")
+	b.Li(6, 4) // row (rows 0..3 left as boundary)
+	b.Li(7, rows)
+	b.Mov(8, 1) // val cursor
+	b.Mov(9, 2) // col cursor
+	b.Label("row")
+	b.Slli(10, 6, 3)
+	b.Add(19, 5, 10)
+	b.Ld(20, -32, 19) // a row sum stored a few rows ago
+	b.Sd(20, 0, 19)   // seed y[row]
+	b.Li(13, 0)       // row sum accumulator
+	b.Label("elem")
+	b.Ld(14, 0, 8) // value, or 0 sentinel
+	b.Addi(8, 8, 8)
+	b.Beq(14, rZ, "endrow") // exit resolves only when the load returns
+	b.Ld(15, 0, 9)          // column offset
+	b.Addi(9, 9, 8)
+	b.Add(16, 4, 15)
+	b.Ld(17, 0, 16) // x[col]: random, frequently misses
+	b.Mul(18, 14, 17)
+	b.Add(13, 13, 18) // slow sum chain stays in a register
+	// Fast marker update: read-modify-write y[row] with values that are
+	// ready as soon as the row's own loads return, so the store completes
+	// early and lives in the SFC across younger rows' mispredicted exits.
+	b.Ld(20, 0, 19)
+	b.Add(21, 20, 14)
+	b.Sd(21, 0, 19)
+	b.J("elem")
+	b.Label("endrow")
+	b.Sd(13, 0, 19) // final row sum overwrites the marker
+	b.Addi(9, 9, 8) // skip the sentinel's column slot
+	b.Addi(6, 6, 1)
+	b.Blt(6, 7, "row")
+	b.Mov(8, 1)
+	b.Mov(9, 2)
+	f.end()
+	return b.MustBuild()
+}
+
+// buildMesa: vertex transform and rasterization sketch: MUL-chained
+// transform, then a framebuffer store where ~half the writes repeat the
+// previous pixel value (silent stores / output dependences).
+func buildMesa() *prog.Image {
+	b := prog.NewBuilder("mesa")
+	const verts = 4096
+	const fb = 32768 // 256 KB framebuffer
+	vin := b.Word64(words(0x3e5a, verts)...)
+	stagger(b, 1)
+	fbuf := b.Alloc(fb*8, 8)
+	b.La(1, vin)
+	b.La(2, fbuf)
+	b.Li(3, 0x10001)
+	f := beginForever(b, 28, "outer")
+	b.Li(4, 0)
+	b.Li(5, verts)
+	b.Label("vert")
+	b.Slli(6, 4, 3)
+	b.Add(7, 1, 6)
+	b.Ld(8, 0, 7)
+	b.Mul(9, 8, 3)
+	b.Mul(10, 9, 3)
+	b.Srli(11, 10, 32) // screen coordinate-ish
+	b.Andi(12, 11, fb-1)
+	b.Slli(12, 12, 3)
+	b.Add(13, 2, 12)
+	// Read-modify-write the pixel; when the computed colour equals the
+	// old one this is a silent store. Its value depends on the pixel
+	// load, so it completes late.
+	b.Ld(14, 0, 13)
+	b.Andi(15, 10, 255)
+	b.Or(16, 14, 15)
+	b.Sd(16, 0, 13)
+	// Overdraw: a second store to the same pixel from a different PC
+	// whose value is pure ALU work — it issues before the store above,
+	// an output dependence the SFC cannot rename (§2.2).
+	b.Sd(15, 0, 13)
+	b.Ld(17, 0, 13) // and the shader re-reads the pixel
+	b.Add(21, 21, 17)
+	b.Addi(4, 4, 1)
+	b.Blt(4, 5, "vert")
+	f.end()
+	return b.MustBuild()
+}
+
+// buildMgrid: 3-point relaxation read-mostly sweep.
+func buildMgrid() *prog.Image {
+	b := prog.NewBuilder("mgrid")
+	const n = 16384 // 128 KB field: L2-resident, L1-missing
+	u := b.Word64(words(0x369d, n)...)
+	stagger(b, 1)
+	r := b.Alloc(n*8, 8)
+	b.La(1, u)
+	b.La(2, r)
+	b.Li(3, 3)
+	f := beginForever(b, 28, "outer")
+	b.Li(4, 1)
+	b.Li(5, n-1)
+	b.Label("relax")
+	// Block serializer (see gap in the integer suite): every 16th point
+	// the field base depends on the residual reduction.
+	b.Andi(25, 4, 63)
+	b.Bne(25, rZ, "noser")
+	b.Andi(26, 13, 0)
+	b.Add(1, 1, 26)
+	b.Label("noser")
+	b.Slli(6, 4, 3)
+	b.Add(7, 1, 6)
+	b.Ld(8, -8, 7)
+	b.Ld(9, 0, 7)
+	b.Ld(10, 8, 7)
+	b.Add(11, 8, 10)
+	b.Mul(12, 9, 3)
+	b.Sub(13, 11, 12)
+	b.Mul(15, 13, 3)
+	b.Srai(16, 15, 5)
+	b.Xor(13, 13, 16)
+	b.Add(14, 2, 6)
+	b.Sd(13, 0, 14)
+	b.Addi(4, 4, 4) // stride 4: touches many cache lines
+	b.Blt(4, 5, "relax")
+	f.end()
+	return b.MustBuild()
+}
+
+// buildSwim: shallow-water update: three input arrays, one output store per
+// element, fully predictable.
+func buildSwim() *prog.Image {
+	b := prog.NewBuilder("swim")
+	const n = 8192 // 4 x 64 KB fields: L2-resident
+	uArr := b.Word64(words(0x5311, n)...)
+	stagger(b, 1)
+	vArr := b.Word64(words(0x5312, n)...)
+	stagger(b, 2)
+	pArr := b.Word64(words(0x5313, n)...)
+	stagger(b, 3)
+	zArr := b.Alloc(n*8, 8)
+	b.La(1, uArr)
+	b.La(2, vArr)
+	b.La(3, pArr)
+	b.La(4, zArr)
+	f := beginForever(b, 28, "outer")
+	b.Li(5, 0)
+	b.Li(6, n-1)
+	b.Label("cell")
+	// Block serializer (see gap in the integer suite).
+	b.Andi(25, 5, 15)
+	b.Bne(25, rZ, "noser")
+	b.Andi(26, 15, 0)
+	b.Add(1, 1, 26)
+	b.Add(2, 2, 26)
+	b.Add(3, 3, 26)
+	b.Label("noser")
+	b.Slli(7, 5, 3)
+	b.Add(8, 1, 7)
+	b.Ld(9, 0, 8)
+	b.Add(10, 2, 7)
+	b.Ld(11, 8, 10)
+	b.Add(12, 3, 7)
+	b.Ld(13, 0, 12)
+	b.Sub(14, 9, 11)
+	b.Mul(15, 14, 13)
+	b.Mul(17, 15, 9)
+	b.Srli(18, 17, 23)
+	b.Add(15, 15, 18)
+	b.Add(16, 4, 7)
+	b.Sd(15, 0, 16)
+	b.Addi(5, 5, 1)
+	b.Blt(5, 6, "cell")
+	f.end()
+	return b.MustBuild()
+}

@@ -1,0 +1,630 @@
+package workload
+
+import "sfcmdt/internal/prog"
+
+func init() {
+	register(Workload{
+		Name:         "bzip2",
+		Class:        Int,
+		InAggressive: true,
+		Pathology: "four data structures spaced exactly 4 KB apart (a multiple of the " +
+			"SFC span), so every iteration's stores collide in one SFC set and " +
+			"overwhelm its associativity — the paper's SFC-set-conflict pathology",
+		Build: buildBzip2,
+	})
+	register(Workload{
+		Name:         "crafty",
+		Class:        Int,
+		InAggressive: true,
+		Pathology:    "bitboard arithmetic: long chains of shifts and logicals, small hot lookup tables, highly predictable control",
+		Build:        buildCrafty,
+	})
+	register(Workload{
+		Name:         "gap",
+		Class:        Int,
+		InAggressive: true,
+		Pathology:    "vector arithmetic with index-array indirection; moderate store traffic, predictable loops",
+		Build:        buildGap,
+	})
+	register(Workload{
+		Name:         "gcc",
+		Class:        Int,
+		InAggressive: true,
+		Pathology:    "many small basic blocks with mixed-predictability branches over several live structures",
+		Build:        buildGCC,
+	})
+	register(Workload{
+		Name:         "gzip",
+		Class:        Int,
+		InAggressive: true,
+		Pathology: "LZ-style window copies: stores immediately re-read (heavy forwarding), plus " +
+			"repeated and silent stores to the same addresses — the output-dependence " +
+			"pathology the paper reports ENF fixing",
+		Build: buildGzip,
+	})
+	register(Workload{
+		Name:         "mcf",
+		Class:        Int,
+		InAggressive: true,
+		Pathology: "pointer chasing over nodes spaced 64 KB apart (a multiple of the MDT span): " +
+			"concurrent in-flight loads collide in one MDT set — the paper's " +
+			"MDT-set-conflict pathology",
+		Build: buildMCF,
+	})
+	register(Workload{
+		Name:         "parser",
+		Class:        Int,
+		InAggressive: true,
+		Pathology:    "linked-list traversal in a compact arena with data-dependent but learnable branches",
+		Build:        buildParser,
+	})
+	register(Workload{
+		Name:         "perl",
+		Class:        Int,
+		InAggressive: true,
+		Pathology:    "hash-table probing: computed scattered indices, occasional bucket updates",
+		Build:        buildPerl,
+	})
+	register(Workload{
+		Name:         "twolf",
+		Class:        Int,
+		InAggressive: true,
+		Pathology:    "grid cell swaps: paired loads then conditional stores guarded by data-dependent branches",
+		Build:        buildTwolf,
+	})
+	register(Workload{
+		Name:         "vortex",
+		Class:        Int,
+		InAggressive: true,
+		Pathology:    "object copies: block load/store runs with later re-reads (forwarding-heavy)",
+		Build:        buildVortex,
+	})
+	register(Workload{
+		Name:         "vpr_place",
+		Class:        Int,
+		InAggressive: true,
+		Pathology:    "simulated-annealing swaps with a skewed accept branch; stores mostly on the common arm",
+		Build:        buildVprPlace,
+	})
+	register(Workload{
+		Name:         "vpr_route",
+		Class:        Int,
+		InAggressive: true,
+		Pathology: "maze routing: unpredictable branches immediately followed by stores and " +
+			"re-reads on both arms — frequent partial flushes make this the paper's " +
+			"SFC-corruption pathology",
+		Build: buildVprRoute,
+	})
+}
+
+// buildBzip2: block-sorting transform sketch. Four working arrays sit at
+// exact 4 KB spacings — a multiple of both SFC spans — so same-index
+// elements of different arrays are same-set, different-tag SFC lines. The
+// store stream rotates through the arrays every 16 iterations: a 128-entry
+// window holds only one array phase (no conflicts, as in the paper's
+// baseline), while a 1024-entry window holds several phases whose stores
+// collide in one SFC set and exceed its 2-way associativity (the paper's
+// aggressive-processor SFC-conflict pathology, §3.2).
+func buildBzip2() *prog.Image {
+	b := prog.NewBuilder("bzip2")
+	const spacing = 4096
+	const elems = 256 // 2 KB used per array
+	a0 := b.AllocAt(0*spacing, elems*8)
+	b.AllocAt(1*spacing, elems*8)
+	b.AllocAt(2*spacing, elems*8)
+	b.AllocAt(3*spacing, elems*8)
+	const srcWords = 32768 // 256 KB block being transformed: misses the L2
+	src := b.AllocAt(4*spacing, srcWords*8)
+	sm := splitmix64(0xb21b)
+	for i := 0; i < srcWords; i++ {
+		b.SetWord64(src+uint64(i)*8, sm.next())
+	}
+
+	b.La(1, a0)
+	b.La(2, src)
+	f := beginForever(b, 28, "outer")
+	b.Li(6, 0) // t
+	b.Li(7, srcWords)
+	b.Label("loop")
+	// Block serializer: every 16th iteration the bucket base depends on
+	// the most recent re-read value, so a store stuck replaying on SFC
+	// set conflicts delays the whole bucket stream (the transform is
+	// genuinely recurrent in the original program).
+	b.Andi(25, 6, 15)
+	b.Bne(25, rZ, "noser")
+	b.Andi(26, 18, 0)
+	b.Add(1, 1, 26)
+	b.Label("noser")
+	// addr = a0 + ((t>>3)&3)*4096 + (t&7)*8 + ((t>>5)&31)*64
+	b.Andi(8, 6, 7)
+	b.Srli(9, 6, 3)
+	b.Andi(9, 9, 3)
+	b.Slli(10, 9, 12)
+	b.Srli(11, 6, 5)
+	b.Andi(11, 11, 31)
+	b.Slli(11, 11, 6)
+	b.Add(12, 1, 10)
+	b.Slli(13, 8, 3)
+	b.Add(12, 12, 13)
+	b.Add(12, 12, 11)
+	// The bucket store's value is pure ALU work, so the store completes
+	// within a few cycles of dispatch; the src-block load below misses the
+	// L2 and stalls retirement, so completed stores accumulate in the SFC.
+	b.Xor(17, 12, 6)
+	b.Sd(17, 0, 12)
+	b.Ld(18, 0, 12) // immediate re-read: forwards through the SFC
+	b.Slli(14, 6, 3)
+	b.Add(15, 2, 14)
+	b.Ld(16, 0, 15) // src[t]: streams 256 KB, stalling retirement
+	b.Add(19, 19, 16)
+	b.Add(19, 19, 18)
+	b.Addi(6, 6, 1)
+	b.Blt(6, 7, "loop")
+	f.end()
+	return b.MustBuild()
+}
+
+// buildCrafty: bitboard move generation sketch: dense logical arithmetic
+// over a small attack table; few stores; predictable control.
+func buildCrafty() *prog.Image {
+	b := prog.NewBuilder("crafty")
+	const tblWords = 8192 // 64 KB attack table: misses the 8 KB L1
+	tbl := b.Word64(words(0xc4af, tblWords)...)
+	out := b.Alloc(64*8, 8)
+	b.La(1, tbl)
+	b.La(2, out)
+	lcgInit(b, 3, 4, 5, 0x51de)
+	f := beginForever(b, 28, "outer")
+	b.Li(6, 0)
+	b.Li(7, 256)
+	b.Label("sq")
+	lcgStep(b, 3, 4, 5)
+	b.Srli(8, 3, 51) // table index 0..8191
+	b.Slli(9, 8, 3)
+	b.Add(10, 1, 9)
+	b.Ld(11, 0, 10) // attacks = tbl[sq]
+	// Bitboard mangling chain.
+	b.And(12, 11, 3)
+	b.Or(13, 12, 8)
+	b.Sll(14, 13, 8)
+	b.Srl(15, 13, 8)
+	b.Xor(16, 14, 15)
+	b.And(17, 16, 11)
+	b.Add(18, 18, 17)
+	b.Addi(6, 6, 1)
+	b.Blt(6, 7, "sq")
+	// One summary store per outer pass.
+	b.Andi(19, 18, 63<<3&0x1f8)
+	b.Add(20, 2, 19)
+	b.Sd(18, 0, 20)
+	f.end()
+	return b.MustBuild()
+}
+
+// buildGap: computer-algebra vector loops: C[i] = A[idx[i]] * B[i] + C[i].
+func buildGap() *prog.Image {
+	b := prog.NewBuilder("gap")
+	const n = 8192 // 4 arrays x 64 KB: L2-resident, L1-missing
+	idxVals := make([]uint64, n)
+	s := splitmix64(0x9a9)
+	for i := range idxVals {
+		idxVals[i] = (s.next() % n) * 8
+	}
+	av := b.Word64(words(0xaaaa, n)...)
+	stagger(b, 1)
+	bv := b.Word64(words(0xbbbb, n)...)
+	stagger(b, 2)
+	cv := b.Word64(make([]uint64, n)...)
+	stagger(b, 3)
+	iv := b.Word64(idxVals...)
+	b.La(1, av)
+	b.La(2, bv)
+	b.La(3, cv)
+	b.La(4, iv)
+	f := beginForever(b, 28, "outer")
+	b.Li(5, 0)
+	b.Li(6, n)
+	b.Label("loop")
+	// Block serializer: every 16th element the index base acquires a data
+	// dependence on the running reduction (a zero-valued but
+	// data-dependent term), bounding useful speculation depth to a couple
+	// of blocks, as loop-carried reductions do in the original program.
+	b.Andi(25, 5, 15)
+	b.Bne(25, rZ, "noser")
+	b.Andi(26, 17, 0)
+	b.Add(4, 4, 26)
+	b.Label("noser")
+	b.Slli(7, 5, 3)
+	b.Add(8, 4, 7)
+	b.Ld(9, 0, 8) // idx[i] (pre-scaled)
+	b.Add(10, 1, 9)
+	b.Ld(11, 0, 10) // A[idx[i]]
+	b.Add(12, 2, 7)
+	b.Ld(13, 0, 12) // B[i]
+	b.Mul(14, 11, 13)
+	b.Xor(18, 14, 11)
+	b.Srli(19, 18, 7)
+	b.Mul(20, 19, 13)
+	b.Add(14, 14, 20)
+	b.Add(15, 3, 7)
+	b.Ld(16, 0, 15) // C[i]
+	b.Add(17, 14, 16)
+	b.Sd(17, 0, 15)
+	b.Addi(5, 5, 1)
+	b.Blt(5, 6, "loop")
+	f.end()
+	return b.MustBuild()
+}
+
+// buildGCC: compiler-like control flow: a chain of small decision blocks
+// driven by loaded token bits, touching symbol-table and rtl-like arrays.
+func buildGCC() *prog.Image {
+	b := prog.NewBuilder("gcc")
+	const n = 32768
+	toks := b.Word64(words(0x6cc, n)...)
+	stagger(b, 1)
+	sym := b.Alloc(4096*8, 8)
+	stagger(b, 2)
+	rtl := b.Alloc(4096*8, 8)
+	b.La(1, toks)
+	b.La(2, sym)
+	b.La(3, rtl)
+	f := beginForever(b, 28, "outer")
+	b.Li(4, 0)
+	b.Li(5, n)
+	b.Label("loop")
+	b.Slli(6, 4, 3)
+	b.Add(7, 1, 6)
+	b.Ld(8, 0, 7) // token
+	b.Andi(9, 8, 3)
+	b.Beq(9, rZ, "case0")
+	b.Slti(10, 9, 2)
+	b.Bne(10, rZ, "case1")
+	// case 2/3: rtl update
+	b.Andi(11, 8, 4095<<3&0x7ff8)
+	b.Add(12, 3, 11)
+	b.Ld(13, 0, 12)
+	b.Add(13, 13, 8)
+	b.Sd(13, 0, 12)
+	b.J("join")
+	b.Label("case1") // symbol lookup
+	b.Srli(11, 8, 5)
+	b.Andi(11, 11, 4095<<3&0x7ff8)
+	b.Add(12, 2, 11)
+	b.Ld(13, 0, 12)
+	b.Add(14, 14, 13)
+	b.J("join")
+	b.Label("case0") // arithmetic fold
+	b.Srli(11, 8, 2)
+	b.Add(14, 14, 11)
+	b.Label("join")
+	b.Addi(4, 4, 1)
+	b.Blt(4, 5, "loop")
+	f.end()
+	return b.MustBuild()
+}
+
+// buildGzip: LZ77 sketch: copy from a back-pointer into the output window,
+// immediately re-read the copied bytes, and periodically re-store the same
+// value (silent stores). Stores to the same addresses execute from several
+// PCs out of order, the paper's output-dependence pathology.
+func buildGzip() *prog.Image {
+	b := prog.NewBuilder("gzip")
+	const window = 262144 // 256 KB sliding window
+	win := b.Alloc(window, 8)
+	stagger(b, 1)
+	src := b.Word64(words(0x6219, window/8)...)
+	b.La(1, win)
+	b.La(2, src)
+	lcgInit(b, 3, 4, 5, 0x71f)
+	f := beginForever(b, 28, "outer")
+	b.Li(6, 0)
+	b.Li(7, window/8)
+	b.Label("loop")
+	lcgStep(b, 3, 4, 5)
+	b.Slli(8, 6, 3)
+	b.Add(9, 2, 8)
+	b.Ld(10, 0, 9) // literal word
+	b.Add(11, 1, 8)
+	b.Sd(10, 0, 11) // store into window
+	// Match branch: three quarters of the time copy a recent word
+	// (forwarding); one quarter of the time take the literal path.
+	b.Srli(12, 3, 62)
+	b.Andi(12, 12, 3)
+	b.Beq(12, rZ, "literal")
+	b.Ld(13, 0, 11) // re-read just-stored word (store-to-load forward)
+	b.Sd(13, 0, 11) // silent store: same value, same address
+	b.Add(14, 14, 13)
+	b.J("next")
+	b.Label("literal")
+	// Re-store a flag word to the same slot. Its value is pure ALU work
+	// while the store above waits on the src load, so this younger store
+	// completes first — an output dependence the SFC cannot rename.
+	b.Xori(15, 8, 0x3c)
+	b.Sd(15, 0, 11)
+	b.Ld(16, 0, 11)
+	b.Add(14, 14, 16)
+	b.Label("next")
+	b.Addi(6, 6, 1)
+	b.Blt(6, 7, "loop")
+	f.end()
+	return b.MustBuild()
+}
+
+// buildMCF: network-simplex pricing sketch: scan an arc index array and
+// load each arc's fields. Arcs live in 32 bins of 64 KB (64 KB is a multiple
+// of both MDT spans), and an arc's in-bin offset repeats every 32 arcs, so
+// arcs 32 apart are same-set, different-tag MDT granules. A 128-entry window
+// keeps fewer than 32 arcs in flight (conflict-free, as the paper's baseline
+// mcf), while a 1024-entry window keeps ~100 in flight — 3-4 tags per 2-way
+// MDT set, the paper's aggressive-processor MDT-conflict pathology (§3.2).
+func buildMCF() *prog.Image {
+	b := prog.NewBuilder("mcf")
+	const bins = 32
+	const binBytes = 64 << 10
+	const arcs = 1024
+	region := b.AllocAt(0, bins*binBytes)
+	s := splitmix64(0x3cf)
+	arcAddr := make([]uint64, arcs)
+	for k := 0; k < arcs; k++ {
+		bin := (k / 8) % bins
+		off := (k % 8) * 2048 // 8 offset classes per bin
+		arcAddr[k] = region + uint64(bin*binBytes+off)
+		b.SetWord64(arcAddr[k]+0, s.next()%1000) // cost
+		b.SetWord64(arcAddr[k]+8, s.next()%100)  // flow
+		b.SetWord64(arcAddr[k]+16, s.next()%500) // potential
+	}
+	idx := b.Word64(arcAddr...)
+	b.La(1, idx)
+	f := beginForever(b, 28, "outer")
+	b.Li(2, 0) // arc number
+	b.Li(3, arcs)
+	b.Label("arc")
+	// Block serializer (see gap): every 16th arc the index base depends
+	// on the reduced-cost accumulation, as the real pricing loop's
+	// basket updates do.
+	b.Andi(25, 2, 15)
+	b.Bne(25, rZ, "noser")
+	b.Andi(26, 12, 0)
+	b.Add(1, 1, 26)
+	b.Label("noser")
+	b.Slli(4, 2, 3)
+	b.Add(5, 1, 4)
+	b.Ld(6, 0, 5)  // arc address (sequential index array)
+	b.Ld(7, 0, 6)  // cost   — scattered, misses the L2
+	b.Ld(8, 8, 6)  // flow
+	b.Ld(9, 16, 6) // potential
+	b.Add(10, 7, 8)
+	b.Sub(11, 10, 9)
+	b.Blt(11, rZ, "skip")
+	b.Add(12, 12, 11) // reduced-cost accumulation
+	b.Label("skip")
+	b.Addi(2, 2, 1)
+	b.Blt(2, 3, "arc")
+	// One relabeling store per pass.
+	b.Sd(12, 16, 6)
+	f.end()
+	return b.MustBuild()
+}
+
+// buildParser: dictionary-linkage sketch: walk short chains in a compact
+// arena, branch on word-class bits.
+func buildParser() *prog.Image {
+	b := prog.NewBuilder("parser")
+	const n = 16384 // 256 KB arena
+	arena := b.Alloc(n*16, 8)
+	s := splitmix64(0x9a45e4)
+	for i := 0; i < n; i++ {
+		next := arena + (s.next()%n)*16
+		b.SetWord64(arena+uint64(i)*16, next)
+		b.SetWord64(arena+uint64(i)*16+8, s.next())
+	}
+	b.La(1, arena)
+	f := beginForever(b, 28, "outer")
+	b.Mov(2, 1)
+	b.Li(3, 256)
+	b.Label("walk")
+	b.Ld(4, 8, 2) // word bits
+	b.Mul(10, 4, 4)
+	b.Srli(11, 10, 9)
+	b.Xor(12, 11, 4)
+	b.Andi(5, 4, 7)
+	b.Beq(5, rZ, "rare")
+	b.Add(6, 6, 12)
+	b.J("cont")
+	b.Label("rare")
+	b.Sd(6, 8, 2) // annotate the entry
+	b.Label("cont")
+	b.Ld(2, 0, 2) // next
+	b.Addi(3, 3, -1)
+	b.Bne(3, rZ, "walk")
+	f.end()
+	return b.MustBuild()
+}
+
+// buildPerl: hash-table interpreter sketch: hash an LCG key, probe a bucket,
+// compare, occasionally update.
+func buildPerl() *prog.Image {
+	b := prog.NewBuilder("perl")
+	const buckets = 32768 // 256 KB table
+	tbl := b.Word64(words(0x9e51, buckets)...)
+	b.La(1, tbl)
+	lcgInit(b, 2, 3, 4, 0xfee1)
+	f := beginForever(b, 28, "outer")
+	b.Li(5, 512)
+	b.Label("probe")
+	lcgStep(b, 2, 3, 4)
+	b.Srli(6, 2, 40)
+	b.Andi(6, 6, buckets-1)
+	b.Slli(6, 6, 3)
+	b.Add(7, 1, 6)
+	b.Ld(8, 0, 7) // bucket value
+	b.Xor(9, 8, 2)
+	b.Andi(10, 9, 15)
+	b.Bne(10, rZ, "miss")
+	b.Sd(9, 0, 7) // hit: update bucket
+	b.Label("miss")
+	b.Add(11, 11, 8)
+	b.Addi(5, 5, -1)
+	b.Bne(5, rZ, "probe")
+	f.end()
+	return b.MustBuild()
+}
+
+// buildTwolf: placement-refinement sketch: load two cells, swap them when a
+// data-dependent cost test passes.
+func buildTwolf() *prog.Image {
+	b := prog.NewBuilder("twolf")
+	const cells = 16384 // 128 KB grid
+	grid := b.Word64(words(0x2017, cells)...)
+	b.La(1, grid)
+	lcgInit(b, 2, 3, 4, 0x7a0)
+	f := beginForever(b, 28, "outer")
+	b.Li(5, 256)
+	b.Label("swap")
+	lcgStep(b, 2, 3, 4)
+	b.Srli(6, 2, 30)
+	b.Andi(6, 6, cells-1)
+	b.Slli(6, 6, 3)
+	b.Srli(7, 2, 45)
+	b.Andi(7, 7, cells-1)
+	b.Slli(7, 7, 3)
+	b.Add(8, 1, 6)
+	b.Add(9, 1, 7)
+	b.Ld(10, 0, 8)
+	b.Ld(11, 0, 9)
+	b.Blt(10, 11, "noswap") // data-dependent, ~50/50
+	b.Sd(11, 0, 8)
+	b.Sd(10, 0, 9)
+	b.Label("noswap")
+	b.Add(12, 12, 10)
+	b.Addi(5, 5, -1)
+	b.Bne(5, rZ, "swap")
+	f.end()
+	return b.MustBuild()
+}
+
+// buildVortex: OO-database sketch: copy 4-word objects between regions,
+// then immediately validate the copy by re-reading (forwarding-heavy).
+func buildVortex() *prog.Image {
+	b := prog.NewBuilder("vortex")
+	const objs = 2048 // 64 KB per region: L2-resident
+	srcRegion := b.Word64(words(0x0b7e, objs*4)...)
+	stagger(b, 1)
+	dstRegion := b.Alloc(objs*4*8, 8)
+	b.La(1, srcRegion)
+	b.La(2, dstRegion)
+	f := beginForever(b, 28, "outer")
+	b.Li(3, 0)
+	b.Li(4, objs)
+	b.Label("obj")
+	// Block serializer (see gap): every 8th object the region base
+	// depends on the checksum so far.
+	b.Andi(25, 3, 7)
+	b.Bne(25, rZ, "noser")
+	b.Andi(26, 15, 0)
+	b.Add(1, 1, 26)
+	b.Add(2, 2, 26)
+	b.Label("noser")
+	b.Slli(5, 3, 5) // 32 bytes per object
+	b.Add(6, 1, 5)
+	b.Add(7, 2, 5)
+	b.Ld(8, 0, 6)
+	b.Sd(8, 0, 7)
+	b.Ld(9, 8, 6)
+	b.Sd(9, 8, 7)
+	b.Ld(10, 16, 6)
+	b.Sd(10, 16, 7)
+	b.Ld(11, 24, 6)
+	b.Sd(11, 24, 7)
+	// Validation pass: re-read the fresh copy and checksum it.
+	b.Ld(12, 0, 7)
+	b.Ld(13, 24, 7)
+	b.Add(14, 12, 13)
+	b.Mul(16, 14, 9)
+	b.Xor(17, 16, 10)
+	b.Srli(18, 17, 13)
+	b.Add(19, 17, 18)
+	b.Add(15, 15, 19)
+	b.Addi(3, 3, 1)
+	b.Blt(3, 4, "obj")
+	f.end()
+	return b.MustBuild()
+}
+
+// buildVprPlace: annealing sketch with a skewed (85% reject) accept test:
+// branches are learnable, stores are rarer than in vpr_route.
+func buildVprPlace() *prog.Image {
+	b := prog.NewBuilder("vpr_place")
+	const cells = 32768 // 256 KB grid
+	grid := b.Word64(words(0x3b1a, cells)...)
+	b.La(1, grid)
+	lcgInit(b, 2, 3, 4, 0x91ce)
+	f := beginForever(b, 28, "outer")
+	b.Li(5, 256)
+	b.Label("move")
+	lcgStep(b, 2, 3, 4)
+	b.Srli(6, 2, 38)
+	b.Andi(6, 6, cells-1)
+	b.Slli(6, 6, 3)
+	b.Add(7, 1, 6)
+	b.Ld(8, 0, 7)
+	// Accept when low nibble is 0 or 1 (~12%): skewed, mostly predicted.
+	b.Andi(9, 2, 15)
+	b.Slti(10, 9, 2)
+	b.Beq(10, rZ, "reject")
+	b.Add(11, 8, 9)
+	b.Sd(11, 0, 7)
+	b.Label("reject")
+	b.Add(12, 12, 8)
+	b.Addi(5, 5, -1)
+	b.Bne(5, rZ, "move")
+	f.end()
+	return b.MustBuild()
+}
+
+// buildVprRoute: maze-router sketch: a 50/50 data-dependent branch chooses
+// between two arms, each of which stores a cost and immediately re-reads
+// neighbours. Every mispredict is a partial flush over live stores, so loads
+// replay on SFC corruption — the paper's corruption pathology.
+func buildVprRoute() *prog.Image {
+	b := prog.NewBuilder("vpr_route")
+	const nodes = 32768 // 256 KB cost array: the wavefront misses the caches
+	cost := b.Word64(words(0x3007e, nodes)...)
+	b.La(1, cost)
+	b.La(13, cost) // wavefront cursor
+	b.Li(14, int64ToU64(int64(nodes-16)*8))
+	lcgInit(b, 2, 3, 4, 0xda7e)
+	f := beginForever(b, 28, "outer")
+	b.Li(5, 256)
+	b.Label("expand")
+	lcgStep(b, 2, 3, 4)
+	// Unpredictable direction choice moves the wavefront +8 or +16 bytes.
+	b.Srli(8, 2, 17)
+	b.Andi(8, 8, 1)
+	b.Beq(8, rZ, "south")
+	b.Addi(13, 13, 8)
+	b.Ld(9, 0, 13) // read the cell the last few expansions updated
+	b.Addi(10, 9, 3)
+	b.Sd(10, 0, 13) // update its cost (in flight across the next branch)
+	b.J("done")
+	b.Label("south")
+	b.Addi(13, 13, 16)
+	b.Ld(9, -8, 13) // re-read the previously updated cell
+	b.Addi(10, 9, 5)
+	b.Sd(10, 0, 13)
+	b.Label("done")
+	b.Add(12, 12, 10)
+	// Wrap the wavefront cursor.
+	b.Sub(15, 13, 1)
+	b.Blt(15, 14, "nowrap")
+	b.Mov(13, 1)
+	b.Label("nowrap")
+	b.Addi(5, 5, -1)
+	b.Bne(5, rZ, "expand")
+	f.end()
+	return b.MustBuild()
+}
+
+// int64ToU64 converts a non-negative constant for Li.
+func int64ToU64(v int64) uint64 { return uint64(v) }

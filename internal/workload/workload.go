@@ -1,0 +1,169 @@
+// Package workload provides the synthetic benchmark programs that stand in
+// for the paper's SPEC CPU2000 runs (the repository has no compiler or SPEC
+// inputs; see DESIGN.md §2). Each workload is named after the SPEC benchmark
+// it models and is engineered to reproduce that benchmark's *memory
+// behaviour class* as characterized in the paper's evaluation:
+//
+//   - bzip2: multiple data structures at power-of-two spacings whose
+//     low-order address bits collide, causing SFC set conflicts (§3.2);
+//   - mcf: pointer chasing across widely spaced nodes, causing MDT set
+//     conflicts among many concurrent in-flight loads (§3.2);
+//   - vpr_route / ammp / equake: hard-to-predict branches immediately
+//     followed by stores and loads, causing frequent partial flushes and
+//     SFC corruption replays (§3.2);
+//   - gzip / mesa: repeated and silent stores to the same addresses,
+//     stressing output-dependence handling (§3.1);
+//   - the remaining workloads cover the spectrum from streaming stencils
+//     (swim, mgrid, applu) to branchy integer codes (gcc, parser, twolf).
+//
+// FP benchmarks are modeled with integer programs whose arithmetic uses the
+// long-latency MUL/DIV units, reproducing the long dependence chains and
+// regular traversals of the originals.
+//
+// All programs loop effectively forever; the simulator's MaxInsts budget
+// bounds each run, as the paper bounds its runs at 300M instructions.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"sfcmdt/internal/isa"
+	"sfcmdt/internal/prog"
+)
+
+// Class tags a workload as SPECint- or SPECfp-like.
+type Class string
+
+const (
+	Int Class = "int"
+	FP  Class = "fp"
+)
+
+// Workload is one synthetic benchmark.
+type Workload struct {
+	Name      string
+	Class     Class
+	Pathology string // the memory-behaviour class it models
+	// InAggressive reports whether the workload appears in the paper's
+	// aggressive-processor results (Figure 6 omits mesa).
+	InAggressive bool
+	Build        func() *prog.Image
+}
+
+var registry = map[string]Workload{}
+
+func register(w Workload) {
+	if _, dup := registry[w.Name]; dup {
+		panic(fmt.Sprintf("workload: duplicate %q", w.Name))
+	}
+	registry[w.Name] = w
+}
+
+// All returns every workload, SPECint first, each class alphabetical —
+// the order of the paper's figures.
+func All() []Workload {
+	var ints, fps []Workload
+	for _, w := range registry {
+		if w.Class == Int {
+			ints = append(ints, w)
+		} else {
+			fps = append(fps, w)
+		}
+	}
+	sort.Slice(ints, func(i, j int) bool { return ints[i].Name < ints[j].Name })
+	sort.Slice(fps, func(i, j int) bool { return fps[i].Name < fps[j].Name })
+	return append(ints, fps...)
+}
+
+// Get returns the named workload.
+func Get(name string) (Workload, bool) {
+	w, ok := registry[name]
+	return w, ok
+}
+
+// Names returns all workload names in figure order.
+func Names() []string {
+	ws := All()
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name
+	}
+	return names
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers.
+
+// splitmix64 is the deterministic generator used to initialize data.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+// words returns n deterministic 64-bit values.
+func words(seed uint64, n int) []uint64 {
+	s := splitmix64(seed)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = s.next()
+	}
+	return out
+}
+
+// Register aliases used across generators for readability. r29 is the
+// conventional stack pointer and r31 the link register; generators avoid
+// both unless calling.
+const (
+	rZ    = isa.Zero
+	rLink = isa.LinkReg
+)
+
+// stagger inserts a small deterministic pad between data structures so
+// consecutively allocated arrays do not sit at exact power-of-two relative
+// offsets. Without it, same-index elements of large arrays alias into the
+// same MDT/SFC/cache sets — a pathology no real allocator's heap exhibits
+// (the mcf and bzip2 workloads create such aliasing deliberately instead).
+func stagger(b *prog.Builder, k int) {
+	b.Alloc(264*k+8, 8)
+}
+
+// lcgStep emits one 64-bit LCG step on state register rs using constant
+// registers ra (multiplier) and rc (increment): rs = rs*ra + rc.
+func lcgStep(b *prog.Builder, rs, ra, rc isa.Reg) {
+	b.Mul(rs, rs, ra)
+	b.Add(rs, rs, rc)
+}
+
+// lcgInit emits the LCG constants into ra and rc and seeds rs.
+func lcgInit(b *prog.Builder, rs, ra, rc isa.Reg, seed uint64) {
+	b.Li(rs, seed)
+	b.Li(ra, 6364136223846793005)
+	b.Li(rc, 1442695040888963407)
+}
+
+// foreverLoop brackets a loop body that runs a practically unbounded number
+// of iterations: the caller supplies the body between Begin and End. ctr
+// must be a register the body does not touch.
+type foreverLoop struct {
+	b     *prog.Builder
+	ctr   isa.Reg
+	label string
+}
+
+func beginForever(b *prog.Builder, ctr isa.Reg, label string) foreverLoop {
+	b.Li(ctr, 1<<40)
+	b.Label(label)
+	return foreverLoop{b: b, ctr: ctr, label: label}
+}
+
+func (f foreverLoop) end() {
+	f.b.Addi(f.ctr, f.ctr, -1)
+	f.b.Bne(f.ctr, rZ, f.label)
+	f.b.Halt()
+}
