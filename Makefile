@@ -1,0 +1,44 @@
+# Developer/CI entry points. `make ci` is the gate a change must pass:
+# vet + build + race-enabled tests + a single-iteration benchmark smoke run
+# (catches benchmarks that no longer compile or crash without paying for a
+# full measurement).
+
+GO ?= go
+
+.PHONY: all vet build test race bench-smoke bench bench-json bench-check ci
+
+all: build
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+# Full measured run of the Go benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Regenerate the machine-readable benchmark report.
+bench-json:
+	$(GO) run ./cmd/sfcbench -insts 20000 -json BENCH_PR1.json bench all
+
+# Diff a fresh run against the committed report. The tool's default
+# tolerance (10%) suits a quiet, pinned machine; shared runners see
+# memory-bandwidth contention spikes of ~40% that pure-CPU calibration
+# cannot divide out, so the convenience target allows 50% — loose for small
+# slips, but alloc regressions are always flagged exactly, and losing the
+# event wheel (+700% ns/op) or the entry pool (+2000%) trips it instantly.
+bench-check:
+	$(GO) run ./cmd/sfcbench -insts 20000 -baseline BENCH_PR1.json -tolerance 0.5 bench all
+
+ci: vet build race bench-smoke

@@ -13,8 +13,11 @@ package sfcmdt_test
 import (
 	"testing"
 
+	"sfcmdt/internal/arch"
 	"sfcmdt/internal/core"
 	"sfcmdt/internal/harness"
+	"sfcmdt/internal/pipeline"
+	"sfcmdt/internal/sched"
 	"sfcmdt/internal/seqnum"
 	"sfcmdt/internal/workload"
 	"sfcmdt/sim"
@@ -185,6 +188,121 @@ func BenchmarkLSQSearch(b *testing.B) {
 		lsq.DispatchLoad(ls, 0)
 		lsq.ExecuteLoad(ls, uint64(i%80)*8, 8, memRead)
 		lsq.SquashFrom(ls) // keep the load queue from growing
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Cycle-loop micro-benchmarks: the event wheel and entry pool that replaced
+// the seed's map-of-slices scheduler and per-dispatch allocations. The paired
+// *Map/*Unpooled benchmarks keep the replaced implementations measurable so
+// the win stays visible in bench output (and in BENCH_PR1.json, which
+// cmd/sfcbench regenerates from equivalent loops).
+
+// BenchmarkEventWheel models the pipeline's real event mix — a few
+// completions scheduled per cycle at latencies spread across the wheel
+// horizon, drained every cycle.
+func BenchmarkEventWheel(b *testing.B) {
+	w := sched.NewWheel[int](64)
+	var now uint64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 4; j++ {
+			w.Schedule(now, now+uint64(1+(i+j)%48), j)
+		}
+		now++
+		w.Due(now)
+	}
+}
+
+// BenchmarkEventMap is the seed's scheduler: a map from cycle to an
+// allocated slice of due events.
+func BenchmarkEventMap(b *testing.B) {
+	events := make(map[uint64][]int)
+	var now uint64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 4; j++ {
+			at := now + uint64(1+(i+j)%48)
+			events[at] = append(events[at], j)
+		}
+		now++
+		if _, ok := events[now]; ok {
+			delete(events, now)
+		}
+	}
+}
+
+type benchROBEntry struct {
+	seq, pc, addr, val uint64
+	ratSnap            []uint64
+	flags              [4]bool
+}
+
+// BenchmarkEntryPooled measures dispatch-retire entry churn through a free
+// list that preserves each entry's RAT-snapshot backing array.
+func BenchmarkEntryPooled(b *testing.B) {
+	var pool []*benchROBEntry
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var e *benchROBEntry
+		if n := len(pool); n > 0 {
+			e = pool[n-1]
+			pool = pool[:n-1]
+			snap := e.ratSnap
+			*e = benchROBEntry{ratSnap: snap}
+		} else {
+			e = &benchROBEntry{ratSnap: make([]uint64, 32)}
+		}
+		e.seq = uint64(i)
+		pool = append(pool, e)
+	}
+}
+
+// BenchmarkEntryUnpooled is the seed's behaviour: a fresh entry and snapshot
+// slice per dispatched instruction.
+func BenchmarkEntryUnpooled(b *testing.B) {
+	sink := make([]*benchROBEntry, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := &benchROBEntry{ratSnap: make([]uint64, 32)}
+		e.seq = uint64(i)
+		sink[0] = e
+	}
+}
+
+// BenchmarkPipelineSteadyCycle measures one warm pipeline cycle — the
+// number the tentpole optimises. Expect ~0 allocs/op.
+func BenchmarkPipelineSteadyCycle(b *testing.B) {
+	const insts = 400_000
+	build := func() *pipeline.Pipeline {
+		w, ok := workload.Get("swim")
+		if !ok {
+			b.Fatal("workload swim not registered")
+		}
+		img := w.Build()
+		cfg := harness.BaselineConfig(harness.MDTSFCEnf, insts)
+		tr, err := arch.RunTrace(img, insts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := pipeline.NewWithTrace(cfg, img, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 20_000; i++ {
+			p.Step()
+		}
+		return p
+	}
+	p := build()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !p.Step() {
+			b.StopTimer()
+			p = build()
+			b.StartTimer()
+		}
 	}
 }
 

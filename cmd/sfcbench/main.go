@@ -4,7 +4,16 @@
 //
 // Usage:
 //
-//	sfcbench [-insts N] [-v] <experiment>
+//	sfcbench [-insts N] [-v] <experiment>...
+//	sfcbench [-insts N] [-v] [-json FILE] [-baseline FILE] [-tolerance F] bench [name...]
+//
+// The bench subcommand runs the performance suite (event-wheel vs map
+// scheduling, pooled vs unpooled entry churn, SFC/MDT/store-FIFO
+// micro-benchmarks, the steady-state pipeline cycle, and the Figure 5 macro
+// run) and reports ns/op, B/op, allocs/op, and simulated MIPS per entry.
+// -json writes the rows to a file (the committed BENCH_PR1.json is one such
+// report); -baseline diffs the fresh rows against a committed report and
+// exits nonzero when any entry regresses by more than -tolerance.
 //
 // Experiments:
 //
@@ -41,14 +50,47 @@ import (
 func main() {
 	insts := flag.Uint64("insts", 200_000, "correct-path instructions simulated per run")
 	verbose := flag.Bool("v", false, "print per-run progress")
+	jsonOut := flag.String("json", "", "write bench results as JSON to this file")
+	baseline := flag.String("baseline", "", "compare bench results against this JSON report; exit 1 on regression")
+	tolerance := flag.Float64("tolerance", 0.10, "fractional ns/op regression tolerated by -baseline")
+	repeat := flag.Int("repeat", 3, "measure each benchmark N times and keep the fastest (noise suppression)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sfcbench [-insts N] [-v] <experiment>\n\nexperiments: figure4 figure5 figure6 violations enf-vs-notenf conflicts assoc16 corruption granularity recovery tagged-vs-untagged flush-endpoints window-scaling search-work value-replay multi-version structure-scaling search-filter all\n")
+		fmt.Fprintf(os.Stderr, "usage: sfcbench [-insts N] [-v] <experiment>...\n       sfcbench [-insts N] [-v] [-json FILE] [-baseline FILE] [-tolerance F] bench [name...]\n\nexperiments: figure4 figure5 figure6 violations enf-vs-notenf conflicts assoc16 corruption granularity recovery tagged-vs-untagged flush-endpoints window-scaling search-work value-replay multi-version structure-scaling search-filter all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if flag.Arg(0) == "bench" {
+		results, err := runBenchSuite(flag.Args()[1:], *insts, *repeat, *verbose)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sfcbench: bench: %v\n", err)
+			os.Exit(1)
+		}
+		printBenchTable(results)
+		if *jsonOut != "" {
+			if err := writeBenchJSON(*jsonOut, results); err != nil {
+				fmt.Fprintf(os.Stderr, "sfcbench: write %s: %v\n", *jsonOut, err)
+				os.Exit(1)
+			}
+		}
+		if *baseline != "" {
+			regressions, err := compareBaseline(*baseline, *tolerance, results)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sfcbench: baseline: %v\n", err)
+				os.Exit(1)
+			}
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", r)
+			}
+			if len(regressions) > 0 {
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "baseline %s: no regressions beyond %.0f%%\n", *baseline, 100**tolerance)
+		}
+		return
 	}
 	r := harness.NewRunner(*insts)
 	if *verbose {
@@ -95,13 +137,20 @@ func main() {
 		}},
 	}
 
-	want := flag.Arg(0)
-	ran := false
-	for _, e := range experiments {
-		if want != "all" && want != e.name {
+	want := make(map[string]bool, flag.NArg())
+	all := false
+	for _, a := range flag.Args() {
+		if a == "all" {
+			all = true
 			continue
 		}
-		ran = true
+		want[a] = true
+	}
+	for _, e := range experiments {
+		if !all && !want[e.name] {
+			continue
+		}
+		delete(want, e.name)
 		start := time.Now()
 		t, err := e.run()
 		if err != nil {
@@ -113,8 +162,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "[%s took %v]\n", e.name, time.Since(start).Round(time.Millisecond))
 		}
 	}
-	if !ran {
-		fmt.Fprintf(os.Stderr, "sfcbench: unknown experiment %q\n", want)
+	if len(want) > 0 {
+		for n := range want {
+			fmt.Fprintf(os.Stderr, "sfcbench: unknown experiment %q\n", n)
+		}
 		flag.Usage()
 		os.Exit(2)
 	}

@@ -123,3 +123,19 @@ func mix64(z uint64) uint64 {
 	z = (z ^ z>>27) * 0x94d049bb133111eb
 	return z ^ z>>31
 }
+
+// Config returns the predictor configuration.
+func (g *Gshare) Config() Config { return g.cfg }
+
+// Reset restores the freshly-built state — counters weakly not-taken, empty
+// history, zeroed statistics — reusing the counter table.
+func (g *Gshare) Reset() {
+	for i := range g.counters {
+		g.counters[i] = 1
+	}
+	g.hist = 0
+	g.Lookups = 0
+	g.GshareWrong = 0
+	g.OracleCorrected = 0
+	g.FinalMispredicts = 0
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"sfcmdt/internal/seqnum"
+)
+
+// Allocation budgets (ISSUE 1): the address-indexed structures are the
+// simulator's per-instruction hot path, and every operation on them must be
+// free of heap allocations on non-violating sequences. Violations are the
+// only sanctioned allocation (a *Violation record per recovery, which is
+// rare by construction).
+
+func TestSFCZeroAllocs(t *testing.T) {
+	s := NewSFC(SFCConfig{Sets: 128, Ways: 2})
+	seq := seqnum.Seq(0)
+	op := func() {
+		seq++
+		addr := uint64(0x1000 + (seq%64)*8)
+		s.SetBound(seq)
+		if s.CanWrite(addr) {
+			s.StoreWrite(seq, addr, 8, uint64(seq))
+		}
+		s.LoadRead(addr, 8)
+		s.RetireStore(seq, addr)
+	}
+	for i := 0; i < 1000; i++ {
+		op() // warm up
+	}
+	if avg := testing.AllocsPerRun(1000, op); avg != 0 {
+		t.Errorf("SFC store/load/retire cycle: %v allocs/op, want 0", avg)
+	}
+}
+
+func TestMDTZeroAllocs(t *testing.T) {
+	m := NewMDT(MDTConfig{Sets: 1024, Ways: 2, GranBytes: 8, Tagged: true})
+	seq := seqnum.Seq(0)
+	op := func() {
+		// In-order store→load pairs to disjoint-by-iteration addresses:
+		// true dependences, never violations, so no *Violation allocates.
+		stSeq := seq + 1
+		ldSeq := seq + 2
+		seq += 2
+		addr := uint64(0x2000 + (seq%512)*8)
+		m.SetBound(stSeq)
+		m.AccessStore(stSeq, 0x400, addr, 8)
+		m.AccessLoad(ldSeq, 0x404, addr, 8)
+		m.RetireStore(stSeq, addr, 8)
+		m.RetireLoad(ldSeq, addr, 8)
+	}
+	for i := 0; i < 1000; i++ {
+		op()
+	}
+	if avg := testing.AllocsPerRun(1000, op); avg != 0 {
+		t.Errorf("MDT probe cycle: %v allocs/op, want 0", avg)
+	}
+}
+
+func TestStoreFIFOZeroAllocs(t *testing.T) {
+	f := NewStoreFIFO(32)
+	seq := seqnum.Seq(0)
+	op := func() {
+		seq++
+		if !f.Dispatch(seq) {
+			t.Fatalf("FIFO full at seq %d", seq)
+		}
+		f.Execute(seq, 0x3000, 8, uint64(seq))
+		f.FirstUnexecuted()
+		if _, _, _, err := f.Retire(seq); err != nil {
+			t.Fatalf("retire: %v", err)
+		}
+	}
+	// Push/pop across several ring wraps: the seed's slide-and-append slice
+	// reallocated its backing array every capacity retirements.
+	for i := 0; i < 1000; i++ {
+		op()
+	}
+	if avg := testing.AllocsPerRun(1000, op); avg != 0 {
+		t.Errorf("store FIFO push/pop cycle: %v allocs/op, want 0", avg)
+	}
+}
+
+// TestStoreFIFORingSemantics exercises the ring conversion across wraps:
+// out-of-order execute, squash of a suffix, and capacity behaviour must all
+// match the slice implementation it replaced.
+func TestStoreFIFORingSemantics(t *testing.T) {
+	f := NewStoreFIFO(4)
+	if f.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", f.Cap())
+	}
+	// Fill, drain half, refill to force a wrap.
+	for _, s := range []seqnum.Seq{1, 2, 3, 4} {
+		if !f.Dispatch(s) {
+			t.Fatalf("dispatch %d failed", s)
+		}
+	}
+	if f.Dispatch(5) {
+		t.Fatal("dispatch succeeded on full FIFO")
+	}
+	f.Execute(2, 0x20, 8, 2) // out of order is fine
+	f.Execute(1, 0x10, 8, 1)
+	if got, ok := f.FirstUnexecuted(); !ok || got != 3 {
+		t.Fatalf("FirstUnexecuted = %d,%v want 3,true", got, ok)
+	}
+	if _, _, v, err := f.Retire(1); err != nil || v != 1 {
+		t.Fatalf("retire 1: v=%d err=%v", v, err)
+	}
+	if _, _, _, err := f.Retire(3); err == nil {
+		t.Fatal("retire 3 with head 2 should fail")
+	}
+	if _, _, _, err := f.Retire(2); err != nil {
+		t.Fatalf("retire 2: %v", err)
+	}
+	// Wrap: head is now 2; push 5 and 6 into recycled slots.
+	for _, s := range []seqnum.Seq{5, 6} {
+		if !f.Dispatch(s) {
+			t.Fatalf("dispatch %d after wrap failed", s)
+		}
+	}
+	if f.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", f.Len())
+	}
+	f.SquashFrom(5) // drops 5 and 6
+	if f.Len() != 2 {
+		t.Fatalf("Len after squash = %d, want 2", f.Len())
+	}
+	f.Execute(3, 0x30, 8, 3)
+	f.Execute(4, 0x40, 8, 4)
+	for _, s := range []seqnum.Seq{3, 4} {
+		if _, _, v, err := f.Retire(s); err != nil || v != uint64(s) {
+			t.Fatalf("retire %d: v=%d err=%v", s, v, err)
+		}
+	}
+	f.Reset()
+	if f.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", f.Len())
+	}
+}

@@ -222,7 +222,10 @@ func (q *LSQ) RetireLoad(seq seqnum.Seq) error {
 	if len(q.loads) == 0 || q.loads[0].seq != seq {
 		return fmt.Errorf("core: LSQ RetireLoad %d not at head", seq)
 	}
-	q.loads = q.loads[1:]
+	// Shift in place rather than reslicing forward: the reslice walks the
+	// backing array and forces an allocating append every capacity
+	// retirements, which the cycle loop's zero-alloc budget forbids.
+	q.loads = q.loads[:copy(q.loads, q.loads[1:])]
 	return nil
 }
 
@@ -236,7 +239,7 @@ func (q *LSQ) RetireStore(seq seqnum.Seq) (addr uint64, size int, value uint64, 
 	if !h.executed {
 		return 0, 0, 0, fmt.Errorf("core: LSQ RetireStore %d not executed", seq)
 	}
-	q.stores = q.stores[1:]
+	q.stores = q.stores[:copy(q.stores, q.stores[1:])]
 	return h.addr, h.size, h.value, nil
 }
 

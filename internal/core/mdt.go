@@ -417,12 +417,22 @@ func (m *MDT) RetireStore(seq seqnum.Seq, addr uint64, size int) bool {
 	return freed
 }
 
-// Reset clears the table (used between runs; the MDT itself never reacts to
-// pipeline flushes — §2.2: "when a partial pipeline flush occurs, the MDT
-// state does not change in any way").
+// Reset clears the table, reclamation bound, and statistics for a fresh run
+// (the MDT itself never reacts to pipeline flushes — §2.2: "when a partial
+// pipeline flush occurs, the MDT state does not change in any way"). The
+// TrueOnly and SingleLoadOpt policy flags are left for the owner to set.
 func (m *MDT) Reset() {
 	for i := range m.entries {
 		m.entries[i] = mdtEntry{}
 	}
+	m.bound = 0
+	m.Accesses = 0
+	m.Conflicts = 0
+	m.Reclaimed = 0
+	m.EntriesSearched = 0
+	m.TrueViols = 0
+	m.AntiViols = 0
+	m.OutputViols = 0
+	m.EntriesFreed = 0
 	m.Occupied = 0
 }

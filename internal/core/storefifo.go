@@ -20,9 +20,14 @@ type fifoEntry struct {
 // data and address to the FIFO during execution, and exits the FIFO at
 // retirement"). In the absence of a CAM the store queue degenerates to this
 // simple FIFO.
+//
+// The buffer is a fixed-capacity ring so the dispatch/execute/retire cycle
+// never allocates (the slide-and-append slice it replaces reallocated its
+// backing array every capacity retirements).
 type StoreFIFO struct {
-	entries []fifoEntry // oldest first
-	cap     int
+	buf  []fifoEntry // ring storage, oldest at head
+	head int
+	n    int
 }
 
 // NewStoreFIFO builds a FIFO with the given capacity.
@@ -30,36 +35,47 @@ func NewStoreFIFO(capacity int) *StoreFIFO {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("core: store FIFO capacity %d", capacity))
 	}
-	return &StoreFIFO{cap: capacity}
+	return &StoreFIFO{buf: make([]fifoEntry, capacity)}
+}
+
+// idx maps a logical position (0 = oldest) to a buffer index.
+func (f *StoreFIFO) idx(i int) int {
+	i += f.head
+	if i >= len(f.buf) {
+		i -= len(f.buf)
+	}
+	return i
 }
 
 // Cap returns the capacity.
-func (f *StoreFIFO) Cap() int { return f.cap }
+func (f *StoreFIFO) Cap() int { return len(f.buf) }
 
 // Len returns the number of in-flight stores.
-func (f *StoreFIFO) Len() int { return len(f.entries) }
+func (f *StoreFIFO) Len() int { return f.n }
 
 // Dispatch allocates an entry for a store entering the pipeline; it returns
 // false when the FIFO is full (dispatch must stall).
 func (f *StoreFIFO) Dispatch(seq seqnum.Seq) bool {
-	if len(f.entries) >= f.cap {
+	if f.n >= len(f.buf) {
 		return false
 	}
-	if n := len(f.entries); n > 0 && !seqnum.After(seq, f.entries[n-1].seq) {
+	if f.n > 0 && !seqnum.After(seq, f.buf[f.idx(f.n-1)].seq) {
 		panic("core: store FIFO dispatch out of order")
 	}
-	f.entries = append(f.entries, fifoEntry{seq: seq})
+	f.buf[f.idx(f.n)] = fifoEntry{seq: seq}
+	f.n++
 	return true
 }
 
 // Execute records a store's address and data. The entry must exist.
 func (f *StoreFIFO) Execute(seq seqnum.Seq, addr uint64, size int, value uint64) {
-	for i := range f.entries {
-		if f.entries[i].seq == seq {
-			f.entries[i].ready = true
-			f.entries[i].addr = addr
-			f.entries[i].size = size
-			f.entries[i].value = value
+	for i := 0; i < f.n; i++ {
+		e := &f.buf[f.idx(i)]
+		if e.seq == seq {
+			e.ready = true
+			e.addr = addr
+			e.size = size
+			e.value = value
 			return
 		}
 	}
@@ -70,17 +86,21 @@ func (f *StoreFIFO) Execute(seq seqnum.Seq, addr uint64, size int, value uint64)
 // ready, and returns its address, size, and value for commitment to the
 // cache hierarchy.
 func (f *StoreFIFO) Retire(seq seqnum.Seq) (addr uint64, size int, value uint64, err error) {
-	if len(f.entries) == 0 {
+	if f.n == 0 {
 		return 0, 0, 0, fmt.Errorf("core: store FIFO retire on empty FIFO")
 	}
-	h := f.entries[0]
+	h := f.buf[f.head]
 	if h.seq != seq {
 		return 0, 0, 0, fmt.Errorf("core: store FIFO retire seq %d, head is %d", seq, h.seq)
 	}
 	if !h.ready {
 		return 0, 0, 0, fmt.Errorf("core: store FIFO retire of unexecuted store %d", seq)
 	}
-	f.entries = f.entries[1:]
+	f.head++
+	if f.head == len(f.buf) {
+		f.head = 0
+	}
+	f.n--
 	return h.addr, h.size, h.value, nil
 }
 
@@ -90,9 +110,9 @@ func (f *StoreFIFO) Retire(seq seqnum.Seq) (addr uint64, size int, value uint64,
 // store-vulnerability-window filter of paper §4 ("search filtering could
 // dramatically decrease the pressure on the MDT").
 func (f *StoreFIFO) FirstUnexecuted() (seqnum.Seq, bool) {
-	for i := range f.entries {
-		if !f.entries[i].ready {
-			return f.entries[i].seq, true
+	for i := 0; i < f.n; i++ {
+		if e := &f.buf[f.idx(i)]; !e.ready {
+			return e.seq, true
 		}
 	}
 	return seqnum.None, false
@@ -101,13 +121,16 @@ func (f *StoreFIFO) FirstUnexecuted() (seqnum.Seq, bool) {
 // SquashFrom removes all entries with sequence number >= from (a suffix,
 // since dispatch order is program order).
 func (f *StoreFIFO) SquashFrom(from seqnum.Seq) {
-	for i, e := range f.entries {
-		if !seqnum.Before(e.seq, from) {
-			f.entries = f.entries[:i]
+	for i := 0; i < f.n; i++ {
+		if !seqnum.Before(f.buf[f.idx(i)].seq, from) {
+			f.n = i
 			return
 		}
 	}
 }
 
 // Reset empties the FIFO.
-func (f *StoreFIFO) Reset() { f.entries = f.entries[:0] }
+func (f *StoreFIFO) Reset() {
+	f.head = 0
+	f.n = 0
+}

@@ -142,7 +142,9 @@ func (q *ValueReplay) RetireLoad(seq seqnum.Seq, memRead MemReader) (*Violation,
 		return nil, fmt.Errorf("core: ValueReplay RetireLoad %d not at head", seq)
 	}
 	ld := q.loads[0]
-	q.loads = q.loads[1:]
+	// Shift in place (see LSQ.RetireLoad): reslicing forward would force an
+	// allocating append every capacity retirements.
+	q.loads = q.loads[:copy(q.loads, q.loads[1:])]
 	q.ReplayedLoads++
 	var now uint64
 	for b := 0; b < ld.size; b++ {
@@ -171,7 +173,7 @@ func (q *ValueReplay) RetireStore(seq seqnum.Seq) (addr uint64, size int, value 
 	if !h.executed {
 		return 0, 0, 0, fmt.Errorf("core: ValueReplay RetireStore %d not executed", seq)
 	}
-	q.stores = q.stores[1:]
+	q.stores = q.stores[:copy(q.stores, q.stores[1:])]
 	return h.addr, h.size, h.value, nil
 }
 

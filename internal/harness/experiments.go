@@ -41,8 +41,15 @@ func classAverages(t *Table, ws []workload.Workload, cols [][]float64, fmtCell f
 func Figure4() *Table {
 	b := BaselineConfig(MDTSFCEnf, 1)
 	a := AggressiveConfig(MDTSFCTotal, 1)
-	_ = b.Validate()
-	_ = a.Validate()
+	// These are the harness's own canonical configurations; failing to
+	// validate is a programming error, not a runtime condition, so panic
+	// rather than render a table of half-defaulted parameters.
+	if err := b.Validate(); err != nil {
+		panic(fmt.Sprintf("harness: Figure4 baseline config invalid: %v", err))
+	}
+	if err := a.Validate(); err != nil {
+		panic(fmt.Sprintf("harness: Figure4 aggressive config invalid: %v", err))
+	}
 	t := &Table{
 		Title:  "Figure 4: simulator parameters",
 		Header: []string{"Parameter", "Baseline", "Aggressive"},

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"sfcmdt/internal/arch"
 	"sfcmdt/internal/metrics"
@@ -21,25 +22,40 @@ type Result struct {
 	Err      error
 }
 
+// material is a workload's image and golden trace, built exactly once under
+// its own sync.Once (per-workload singleflight): concurrent misses block on
+// the builder instead of each rebuilding the trace.
+type material struct {
+	once sync.Once
+	img  *prog.Image
+	tr   *arch.Trace
+	err  error
+}
+
 // Runner executes pipeline runs, caching each workload's image and golden
 // trace (the trace depends only on the instruction budget, not the
-// configuration) and fanning runs out across CPUs.
+// configuration) and fanning runs out across CPUs. Pipelines are recycled
+// through a pool via Pipeline.Reset, so a figure-sized batch of runs reuses
+// a few pipelines' worth of simulator state instead of reconstructing it
+// per run.
 type Runner struct {
 	MaxInsts uint64
 	Quiet    bool
 	Progress func(format string, args ...any)
 
-	mu     sync.Mutex
-	images map[string]*prog.Image
-	traces map[string]*arch.Trace
+	mu   sync.Mutex
+	mats map[string]*material
+
+	pipes sync.Pool // stores *pipeline.Pipeline
+
+	retired atomic.Uint64 // instructions retired across all runs
 }
 
 // NewRunner builds a runner with the given per-run instruction budget.
 func NewRunner(maxInsts uint64) *Runner {
 	return &Runner{
 		MaxInsts: maxInsts,
-		images:   make(map[string]*prog.Image),
-		traces:   make(map[string]*arch.Trace),
+		mats:     make(map[string]*material),
 	}
 }
 
@@ -49,25 +65,34 @@ func (r *Runner) progress(format string, args ...any) {
 	}
 }
 
-// materialize returns the cached image and trace for a workload.
+// TotalRetired returns the number of instructions retired across every run
+// this runner has executed — the numerator of the benchmark harness's
+// simulated-MIPS figure.
+func (r *Runner) TotalRetired() uint64 { return r.retired.Load() }
+
+// materialize returns the cached image and trace for a workload, building
+// them at most once even under concurrent misses.
 func (r *Runner) materialize(w workload.Workload) (*prog.Image, *arch.Trace, error) {
 	r.mu.Lock()
-	img, okI := r.images[w.Name]
-	tr, okT := r.traces[w.Name]
-	r.mu.Unlock()
-	if okI && okT {
-		return img, tr, nil
+	if r.mats == nil {
+		r.mats = make(map[string]*material)
 	}
-	img = w.Build()
-	tr, err := arch.RunTrace(img, r.MaxInsts)
-	if err != nil {
-		return nil, nil, fmt.Errorf("harness: %s: %w", w.Name, err)
+	m := r.mats[w.Name]
+	if m == nil {
+		m = &material{}
+		r.mats[w.Name] = m
 	}
-	r.mu.Lock()
-	r.images[w.Name] = img
-	r.traces[w.Name] = tr
 	r.mu.Unlock()
-	return img, tr, nil
+	m.once.Do(func() {
+		img := w.Build()
+		tr, err := arch.RunTrace(img, r.MaxInsts)
+		if err != nil {
+			m.err = fmt.Errorf("harness: %s: %w", w.Name, err)
+			return
+		}
+		m.img, m.tr = img, tr
+	})
+	return m.img, m.tr, m.err
 }
 
 // Run executes one workload under one configuration.
@@ -79,15 +104,25 @@ func (r *Runner) Run(cfg pipeline.Config, w workload.Workload) Result {
 		return res
 	}
 	cfg.MaxInsts = r.MaxInsts
-	p, err := pipeline.NewWithTrace(cfg, img, tr)
+	p, _ := r.pipes.Get().(*pipeline.Pipeline)
+	if p == nil {
+		p, err = pipeline.NewWithTrace(cfg, img, tr)
+	} else {
+		err = p.Reset(cfg, img, tr)
+	}
 	if err != nil {
 		res.Err = err
 		return res
 	}
 	st, err := p.Run()
-	res.Stats = st
+	// Copy the stats out: they live inside the pipeline, which goes back to
+	// the pool and will be zeroed by the next run's Reset.
+	stats := *st
+	res.Stats = &stats
 	res.Err = err
-	r.progress("done %-12s %-28s IPC=%.3f", w.Name, cfg.Name, st.IPC())
+	r.retired.Add(stats.Retired)
+	r.pipes.Put(p)
+	r.progress("done %-12s %-28s IPC=%.3f", w.Name, cfg.Name, stats.IPC())
 	return res
 }
 
@@ -100,7 +135,8 @@ type Job struct {
 // RunAll executes jobs across all CPUs and returns results in job order.
 func (r *Runner) RunAll(jobs []Job) []Result {
 	results := make([]Result, len(jobs))
-	// Materialize traces serially first (cheap, avoids duplicate work).
+	// Materialize traces serially first (cheap, avoids front-loading the
+	// worker fan-out with trace builds).
 	for _, j := range jobs {
 		if _, _, err := r.materialize(j.W); err != nil {
 			break // the per-job Run will surface the error

@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"sfcmdt/internal/prog"
+	"sfcmdt/internal/workload"
+)
+
+// TestMaterializeSingleflight verifies that concurrent cache misses for the
+// same workload build its image and trace exactly once (the seed had a
+// check-then-build race where every concurrent miss rebuilt the trace).
+func TestMaterializeSingleflight(t *testing.T) {
+	base := mustWorkload(t, "gzip")
+	var builds atomic.Int32
+	w := workload.Workload{
+		Name:  "counting-gzip",
+		Class: base.Class,
+		Build: func() *prog.Image {
+			builds.Add(1)
+			return base.Build()
+		},
+	}
+	r := NewRunner(2000)
+	const goroutines = 16
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if _, _, err := r.materialize(w); err != nil {
+				t.Errorf("materialize: %v", err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("workload built %d times under concurrent misses, want 1", n)
+	}
+}
+
+// TestRunnerPoolsPipelines verifies that run results are not aliased into
+// pooled pipeline state: two sequential runs must return distinct Stats that
+// survive the pipeline's reuse.
+func TestRunnerPoolsPipelines(t *testing.T) {
+	r := NewRunner(2000)
+	w := mustWorkload(t, "gzip")
+	cfg := BaselineConfig(MDTSFCEnf, 1)
+	res1 := r.Run(cfg, w)
+	if res1.Err != nil {
+		t.Fatalf("run 1: %v", res1.Err)
+	}
+	retired1 := res1.Stats.Retired
+	cycles1 := res1.Stats.Cycles
+	res2 := r.Run(cfg, w)
+	if res2.Err != nil {
+		t.Fatalf("run 2: %v", res2.Err)
+	}
+	if res1.Stats == res2.Stats {
+		t.Fatal("two runs returned the same *Stats (aliased into pooled pipeline)")
+	}
+	if res1.Stats.Retired != retired1 || res1.Stats.Cycles != cycles1 {
+		t.Fatalf("run 1 stats mutated by run 2: retired %d->%d cycles %d->%d",
+			retired1, res1.Stats.Retired, cycles1, res1.Stats.Cycles)
+	}
+	// Determinism across pipeline reuse: identical (cfg, workload) runs
+	// must produce identical statistics.
+	if res2.Stats.Cycles != cycles1 || res2.Stats.Retired != retired1 {
+		t.Fatalf("pooled rerun diverged: cycles %d vs %d, retired %d vs %d",
+			res2.Stats.Cycles, cycles1, res2.Stats.Retired, retired1)
+	}
+	if r.TotalRetired() != retired1+res2.Stats.Retired {
+		t.Fatalf("TotalRetired = %d, want %d", r.TotalRetired(), retired1+res2.Stats.Retired)
+	}
+}
+
+// TestFigure4DoesNotPanic pins the satellite fix: the canonical configs must
+// validate, and Figure4 must render.
+func TestFigure4DoesNotPanic(t *testing.T) {
+	if tab := Figure4(); tab == nil {
+		t.Fatal("Figure4 returned nil table")
+	}
+}
+
+func mustWorkload(t *testing.T, name string) workload.Workload {
+	t.Helper()
+	w, ok := workload.Get(name)
+	if !ok {
+		t.Fatalf("workload %q not registered", name)
+	}
+	return w
+}

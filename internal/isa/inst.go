@@ -129,6 +129,23 @@ func (in Inst) Sources() []Reg {
 	return nil
 }
 
+// SourceRegs returns the architectural source registers without allocating:
+// srcs[:n] holds the same registers Sources would return. The pipeline's
+// dispatch path calls this once per instruction.
+func (in Inst) SourceRegs() (srcs [2]Reg, n int) {
+	switch in.Op.Format() {
+	case FmtR, FmtStore, FmtBranch:
+		return [2]Reg{in.Rs1, in.Rs2}, 2
+	case FmtI, FmtLoad, FmtJalr:
+		return [2]Reg{in.Rs1, 0}, 1
+	case FmtImmSh:
+		if in.Op == OpMovk {
+			return [2]Reg{in.Rd, 0}, 1 // MOVK read-modify-writes rd
+		}
+	}
+	return srcs, 0
+}
+
 // String disassembles the instruction.
 func (in Inst) String() string {
 	switch in.Op.Format() {

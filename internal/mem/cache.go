@@ -189,3 +189,21 @@ func (h *Hierarchy) DataLatency(addr uint64) int {
 	}
 	return h.cfg.L1HitCycles + h.cfg.L1MissCycles + h.cfg.L2MissCycles
 }
+
+// Reset invalidates every line and clears the LRU clock and hit/miss
+// counters, restoring the freshly-built state without reallocating.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = cacheLine{}
+	}
+	c.stamp = 0
+	c.Hits = 0
+	c.Misses = 0
+}
+
+// Reset restores all three cache levels to their freshly-built state.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+}

@@ -87,3 +87,10 @@ func (m *Sparse) Clone() *Sparse {
 
 // Pages returns the number of mapped pages (for tests).
 func (m *Sparse) Pages() int { return len(m.pages) }
+
+// Reset unmaps every page, restoring the empty state while keeping the page
+// table's allocation (the page objects themselves are released; reloading an
+// image maps fresh zeroed pages).
+func (m *Sparse) Reset() {
+	clear(m.pages)
+}

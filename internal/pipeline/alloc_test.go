@@ -1,0 +1,122 @@
+package pipeline
+
+import (
+	"testing"
+
+	"sfcmdt/internal/arch"
+	"sfcmdt/internal/workload"
+)
+
+// buildWorkloadPipeline materializes a real workload and binds a pipeline to
+// it with a budget large enough that the tests below never hit end-of-trace.
+func buildWorkloadPipeline(t *testing.T, name string, cfg Config, maxInsts uint64) *Pipeline {
+	t.Helper()
+	w, ok := workload.Get(name)
+	if !ok {
+		t.Fatalf("workload %q not registered", name)
+	}
+	img := w.Build()
+	cfg.MaxInsts = maxInsts
+	tr, err := arch.RunTrace(img, maxInsts)
+	if err != nil {
+		t.Fatalf("RunTrace: %v", err)
+	}
+	p, err := NewWithTrace(cfg, img, tr)
+	if err != nil {
+		t.Fatalf("NewWithTrace: %v", err)
+	}
+	return p
+}
+
+// TestSteadyStateCycleZeroAllocs is the tentpole's acceptance gate: once the
+// entry pool, rings, and event wheel are warm, stepping the pipeline must
+// not allocate. The only sanctioned allocation on the cycle path is the
+// *Violation record attached to a (rare) memory-ordering violation, so the
+// test uses a streaming workload with no violations and demands exactly
+// zero.
+func TestSteadyStateCycleZeroAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"mdtsfc", testConfigs(0)[0]},
+		{"lsq", testConfigs(0)[1]},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := buildWorkloadPipeline(t, "swim", tc.cfg, 400_000)
+			// Warm up: fill the entry pool, rings, wheel buckets, and the
+			// memory image's store-touched pages.
+			for i := 0; i < 30_000; i++ {
+				if !p.Step() {
+					t.Fatalf("pipeline finished during warmup (retired %d)", p.Stats().Retired)
+				}
+			}
+			const stepsPerRun = 2000
+			avg := testing.AllocsPerRun(5, func() {
+				for i := 0; i < stepsPerRun; i++ {
+					p.step()
+				}
+			})
+			if p.done {
+				t.Fatalf("pipeline finished during measurement (retired %d); raise MaxInsts", p.Stats().Retired)
+			}
+			perCycle := avg / stepsPerRun
+			if perCycle != 0 {
+				t.Errorf("steady-state cycle allocates %.4f allocs/cycle (%.0f per %d cycles), want 0",
+					perCycle, avg, stepsPerRun)
+			}
+		})
+	}
+}
+
+// TestResetMatchesFresh verifies that a pipeline recycled through Reset —
+// even across a change of workload, memory subsystem, and geometry — runs
+// bit-identically to a freshly-constructed pipeline.
+func TestResetMatchesFresh(t *testing.T) {
+	cfgs := testConfigs(3000)
+	run := func(p *Pipeline) interface{} {
+		st, err := p.Run()
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return *st
+	}
+
+	// Fresh runs.
+	freshA := run(buildWorkloadPipeline(t, "gzip", cfgs[0], 3000))
+	freshB := run(buildWorkloadPipeline(t, "mcf", cfgs[1], 3000))
+
+	// Pooled runs: one pipeline, reset across workloads and subsystems.
+	p := buildWorkloadPipeline(t, "mcf", cfgs[1], 3000)
+	run(p) // dirty every structure with a full mcf/LSQ run
+
+	wA, _ := workload.Get("gzip")
+	imgA := wA.Build()
+	trA, err := arch.RunTrace(imgA, 3000)
+	if err != nil {
+		t.Fatalf("RunTrace: %v", err)
+	}
+	cfgA := cfgs[0]
+	cfgA.MaxInsts = 3000
+	if err := p.Reset(cfgA, imgA, trA); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if got := run(p); got != freshA {
+		t.Errorf("reset pipeline (LSQ→MDTSFC, mcf→gzip) diverged from fresh run:\n got  %+v\n want %+v", got, freshA)
+	}
+
+	wB, _ := workload.Get("mcf")
+	imgB := wB.Build()
+	trB, err := arch.RunTrace(imgB, 3000)
+	if err != nil {
+		t.Fatalf("RunTrace: %v", err)
+	}
+	cfgB := cfgs[1]
+	cfgB.MaxInsts = 3000
+	if err := p.Reset(cfgB, imgB, trB); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if got := run(p); got != freshB {
+		t.Errorf("reset pipeline (MDTSFC→LSQ, gzip→mcf) diverged from fresh run:\n got  %+v\n want %+v", got, freshB)
+	}
+}

@@ -2,7 +2,6 @@ package pipeline
 
 import (
 	"fmt"
-	"sort"
 
 	"sfcmdt/internal/arch"
 	"sfcmdt/internal/bpred"
@@ -11,6 +10,7 @@ import (
 	"sfcmdt/internal/mem"
 	"sfcmdt/internal/metrics"
 	"sfcmdt/internal/prog"
+	"sfcmdt/internal/sched"
 	"sfcmdt/internal/seqnum"
 )
 
@@ -72,6 +72,13 @@ type entry struct {
 
 	stall   bool
 	replays int
+
+	// Pool bookkeeping. inWheel marks an entry with a pending completion
+	// event: recovery must not recycle it until the wheel drains it.
+	// pooled makes freeEntry idempotent (a squashed in-wheel entry is
+	// offered to the pool both at wheel drain and at Pipeline.Reset).
+	inWheel bool
+	pooled  bool
 }
 
 // fqEntry is a fetched, not-yet-dispatched instruction.
@@ -106,11 +113,16 @@ type Pipeline struct {
 	physReady []bool
 	freePhys  []physReg
 
-	rob []*entry
-	fq  []fqEntry
+	rob robQueue
+	fq  fqQueue
 
-	// Completion events, keyed by cycle.
-	events map[uint64][]*entry
+	// Completion events, held in a fixed-horizon timing wheel keyed by
+	// absolute cycle (allocation-free in steady state).
+	events *sched.Wheel[*entry]
+
+	// pool is the entry free list; allocEntry/freeEntry recycle ROB slots
+	// so steady-state dispatch performs no heap allocation.
+	pool []*entry
 
 	cycle           uint64
 	fetchPC         uint64
@@ -148,37 +160,67 @@ func New(cfg Config, img *prog.Image) (*Pipeline, error) {
 // NewWithTrace builds a pipeline against a precomputed golden trace (the
 // harness reuses one trace across configurations).
 func NewWithTrace(cfg Config, img *prog.Image, trace *arch.Trace) (*Pipeline, error) {
-	if err := cfg.Validate(); err != nil {
+	p := &Pipeline{}
+	if err := p.Reset(cfg, img, trace); err != nil {
 		return nil, err
 	}
-	p := &Pipeline{
-		cfg:           cfg,
-		img:           img,
-		trace:         trace,
-		memory:        arch.LoadMemory(img),
-		hier:          mem.NewHierarchy(cfg.Hier),
-		bp:            bpred.New(cfg.BPred),
-		pred:          core.NewPredictor(cfg.Pred),
-		seqs:          seqnum.NewAllocator(),
-		events:        make(map[uint64][]*entry),
-		fetchPC:       img.Entry,
-		onCorrectPath: true,
+	return p, nil
+}
+
+// Reset rebinds the pipeline to a configuration, program image, and golden
+// trace, reusing every allocation whose geometry still fits (tables, rings,
+// the event wheel, pooled entries, the sparse memory's page map). A reset
+// pipeline is observably identical to a freshly-constructed one — the
+// harness relies on this to recycle pipelines across (workload × variant)
+// runs.
+func (p *Pipeline) Reset(cfg Config, img *prog.Image, trace *arch.Trace) error {
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
-	p.needsBound = cfg.MemSys == MemMDTSFC || cfg.MemSys == MemMVSFC
-	switch cfg.MemSys {
-	case MemLSQ:
-		p.msys = newLSQSystem(p)
-	case MemMDTSFC:
-		p.msys = newMDTSFCSystem(p)
-	case MemValueReplay:
-		p.msys = newValueReplaySystem(p)
-	case MemMVSFC:
-		p.msys = newMVSFCSystem(p)
+	p.cfg = cfg
+	p.img = img
+	p.trace = trace
+
+	if p.memory == nil {
+		p.memory = arch.LoadMemory(img)
+	} else {
+		arch.LoadMemoryInto(p.memory, img)
 	}
+	if p.hier == nil || p.hier.Config() != cfg.Hier {
+		p.hier = mem.NewHierarchy(cfg.Hier)
+	} else {
+		p.hier.Reset()
+	}
+	if p.bp == nil || p.bp.Config() != cfg.BPred {
+		p.bp = bpred.New(cfg.BPred)
+	} else {
+		p.bp.Reset()
+	}
+	if p.pred == nil || !p.pred.ResetFor(cfg.Pred) {
+		p.pred = core.NewPredictor(cfg.Pred)
+	}
+	if p.seqs == nil {
+		p.seqs = seqnum.NewAllocator()
+	} else {
+		p.seqs.Reset()
+	}
+	p.resetMemSystem()
+
 	nPhys := cfg.ROBSize + isa.NumRegs + 8
-	p.rat = make([]physReg, isa.NumRegs)
-	p.physVal = make([]uint64, nPhys)
-	p.physReady = make([]bool, nPhys)
+	if len(p.physVal) != nPhys {
+		p.physVal = make([]uint64, nPhys)
+		p.physReady = make([]bool, nPhys)
+		p.freePhys = make([]physReg, 0, nPhys)
+	} else {
+		for i := range p.physVal {
+			p.physVal[i] = 0
+			p.physReady[i] = false
+		}
+		p.freePhys = p.freePhys[:0]
+	}
+	if p.rat == nil {
+		p.rat = make([]physReg, isa.NumRegs)
+	}
 	for r := 0; r < isa.NumRegs; r++ {
 		p.rat[r] = physReg(r)
 		p.physReady[r] = true
@@ -188,7 +230,89 @@ func NewWithTrace(cfg Config, img *prog.Image, trace *arch.Trace) (*Pipeline, er
 	for i := nPhys - 1; i >= isa.NumRegs; i-- {
 		p.freePhys = append(p.freePhys, physReg(i))
 	}
-	return p, nil
+
+	// Recycle in-flight entries from an interrupted previous run: every ROB
+	// resident, then every wheel resident (freeEntry is idempotent, so
+	// entries present in both are pooled once).
+	for i := 0; i < p.rob.len(); i++ {
+		p.freeEntry(p.rob.at(i))
+	}
+	p.rob.init(cfg.ROBSize)
+	p.fq.init(cfg.FetchQueueCap)
+	drain := func(e *entry) {
+		e.inWheel = false
+		p.freeEntry(e)
+	}
+	if h := eventHorizon(&p.cfg); p.events == nil || p.events.Horizon() < h {
+		if p.events != nil {
+			p.events.Reset(drain)
+		}
+		p.events = sched.NewWheel[*entry](h)
+	} else {
+		p.events.Reset(drain)
+	}
+
+	p.stats = metrics.Stats{}
+	p.cycle = 0
+	p.fetchPC = img.Entry
+	p.fetchStallUntil = 0
+	p.fetchTraceIdx = 0
+	p.onCorrectPath = true
+	p.fetchHalted = false
+	p.dbg = nil
+	p.retired = 0
+	p.sfcLiveStores = 0
+	p.lastRetireCycle = 0
+	p.err = nil
+	p.done = false
+	return nil
+}
+
+// resetMemSystem rebuilds or resets the memory disambiguation subsystem for
+// p.cfg, reusing the existing structures when the kind and geometry match.
+func (p *Pipeline) resetMemSystem() {
+	cfg := &p.cfg
+	p.needsBound = cfg.MemSys == MemMDTSFC || cfg.MemSys == MemMVSFC
+	switch cfg.MemSys {
+	case MemLSQ:
+		if m, ok := p.msys.(*lsqSystem); ok && m.lsq.Config() == cfg.LSQ {
+			m.p = p
+			m.lsq.Reset()
+			return
+		}
+		p.msys = newLSQSystem(p)
+	case MemMDTSFC:
+		if m, ok := p.msys.(*mdtSFCSystem); ok &&
+			m.mdt.Config() == cfg.MDT && m.sfc.Config() == cfg.SFC && m.fifo.Cap() == cfg.StoreFIFOCap {
+			m.p = p
+			m.mdt.Reset()
+			m.mdt.TrueOnly = false
+			m.mdt.SingleLoadOpt = cfg.Recovery.SingleLoadOpt
+			m.sfc.Reset()
+			m.fifo.Reset()
+			return
+		}
+		p.msys = newMDTSFCSystem(p)
+	case MemValueReplay:
+		if m, ok := p.msys.(*valueReplaySystem); ok && m.vr.Config() == cfg.LSQ {
+			m.p = p
+			m.vr.Reset()
+			return
+		}
+		p.msys = newValueReplaySystem(p)
+	case MemMVSFC:
+		if m, ok := p.msys.(*mvSFCSystem); ok &&
+			m.mdt.Config() == cfg.MDT && m.sfc.Config() == cfg.MVSFC && m.fifo.Cap() == cfg.StoreFIFOCap {
+			m.p = p
+			m.mdt.Reset()
+			m.mdt.TrueOnly = true
+			m.mdt.SingleLoadOpt = cfg.Recovery.SingleLoadOpt
+			m.sfc.Reset()
+			m.fifo.Reset()
+			return
+		}
+		p.msys = newMVSFCSystem(p)
+	}
 }
 
 // Stats returns the statistics collected so far.
@@ -274,14 +398,26 @@ func (p *Pipeline) Run() (*metrics.Stats, error) {
 	return &p.stats, nil
 }
 
+// Step advances the pipeline by one cycle and reports whether it can still
+// make progress (false once the run has finished or failed). Run drives the
+// same loop internally; Step exists for benchmarks and tests that need
+// cycle-level control.
+func (p *Pipeline) Step() bool {
+	if p.done {
+		return false
+	}
+	p.step()
+	return !p.done
+}
+
 // step advances one cycle.
 func (p *Pipeline) step() {
 	if p.needsBound {
 		oldest := p.seqs.Peek()
-		if len(p.rob) > 0 {
-			oldest = p.rob[0].seq
-		} else if len(p.fq) > 0 {
-			oldest = p.fq[0].seq
+		if p.rob.len() > 0 {
+			oldest = p.rob.at(0).seq
+		} else if p.fq.len() > 0 {
+			oldest = p.fq.at(0).seq
 		}
 		switch ms := p.msys.(type) {
 		case *mdtSFCSystem:
@@ -300,23 +436,23 @@ func (p *Pipeline) step() {
 	p.fetch()
 	p.cycle++
 	p.stats.Cycles = p.cycle
-	p.stats.OccupancySum += uint64(len(p.rob))
-	if uint64(len(p.rob)) > p.stats.MaxOccupancy {
-		p.stats.MaxOccupancy = uint64(len(p.rob))
+	p.stats.OccupancySum += uint64(p.rob.len())
+	if uint64(p.rob.len()) > p.stats.MaxOccupancy {
+		p.stats.MaxOccupancy = uint64(p.rob.len())
 	}
 	if p.cycle >= p.cfg.MaxCycles {
-		p.fail(fmt.Errorf("cycle limit %d exceeded (possible deadlock; ROB=%d, fq=%d)", p.cfg.MaxCycles, len(p.rob), len(p.fq)))
+		p.fail(fmt.Errorf("cycle limit %d exceeded (possible deadlock; ROB=%d, fq=%d)", p.cfg.MaxCycles, p.rob.len(), p.fq.len()))
 	}
 	if p.cycle-p.lastRetireCycle > 500_000 {
-		p.fail(fmt.Errorf("no retirement for 500k cycles (deadlock; ROB=%d head=%+v)", len(p.rob), p.headInfo()))
+		p.fail(fmt.Errorf("no retirement for 500k cycles (deadlock; ROB=%d head=%+v)", p.rob.len(), p.headInfo()))
 	}
 }
 
 func (p *Pipeline) headInfo() string {
-	if len(p.rob) == 0 {
+	if p.rob.len() == 0 {
 		return "<empty>"
 	}
-	e := p.rob[0]
+	e := p.rob.at(0)
 	return fmt.Sprintf("seq=%d pc=%#x %s issued=%v completed=%v stall=%v", e.seq, e.pc, e.inst, e.issued, e.completed, e.stall)
 }
 
@@ -324,16 +460,32 @@ func (p *Pipeline) headInfo() string {
 // Completion.
 
 func (p *Pipeline) complete() {
-	evs := p.events[p.cycle]
-	if evs == nil {
+	evs := p.events.Due(p.cycle)
+	if len(evs) == 0 {
 		return
 	}
-	delete(p.events, p.cycle)
 	// Process completions oldest-first so that an older instruction's flush
-	// deterministically squashes younger same-cycle completions.
-	sort.Slice(evs, func(i, j int) bool { return seqnum.Before(evs[i].seq, evs[j].seq) })
+	// deterministically squashes younger same-cycle completions. Sequence
+	// numbers are unique, so this insertion sort orders events exactly as
+	// the sort.Slice call it replaces (which allocated its closure).
+	for i := 1; i < len(evs); i++ {
+		e := evs[i]
+		j := i - 1
+		for j >= 0 && seqnum.Before(e.seq, evs[j].seq) {
+			evs[j+1] = evs[j]
+			j--
+		}
+		evs[j+1] = e
+	}
 	for _, e := range evs {
-		if e.squashed || e.completed {
+		e.inWheel = false
+		if e.squashed {
+			// Recovery removed this entry from the ROB while its event was
+			// pending; the wheel was its last reference.
+			p.freeEntry(e)
+			continue
+		}
+		if e.completed {
 			continue
 		}
 		p.completeEntry(e)
@@ -410,13 +562,13 @@ func (p *Pipeline) handleViolation(e *entry, v *core.Violation) {
 	resumeTrace := -1
 	var ghr uint32
 	switch {
-	case idx < len(p.rob):
-		first := p.rob[idx]
+	case idx < p.rob.len():
+		first := p.rob.at(idx)
 		resumePC = first.pc
 		resumeTrace = first.traceIdx
 		ghr = first.ghrBefore
-	case len(p.fq) > 0:
-		f := p.fq[0]
+	case p.fq.len() > 0:
+		f := p.fq.at(0)
 		resumePC = f.pc
 		resumeTrace = f.traceIdx
 		ghr = f.ghrBefore
@@ -433,12 +585,12 @@ func (p *Pipeline) handleViolation(e *entry, v *core.Violation) {
 
 // firstAtOrAfter returns the index of the first ROB entry with seq >= from.
 func (p *Pipeline) firstAtOrAfter(from seqnum.Seq) int {
-	for i, e := range p.rob {
-		if !seqnum.Before(e.seq, from) {
+	for i := 0; i < p.rob.len(); i++ {
+		if !seqnum.Before(p.rob.at(i).seq, from) {
 			return i
 		}
 	}
-	return len(p.rob)
+	return p.rob.len()
 }
 
 // recover squashes every instruction with seq >= from, restores the rename
@@ -447,12 +599,23 @@ func (p *Pipeline) firstAtOrAfter(from seqnum.Seq) int {
 // resumePC, or -1 if recovery lands on the wrong path.
 func (p *Pipeline) recover(from seqnum.Seq, resumePC uint64, resumeTrace int, ghr uint32, penalty int) {
 	idx := p.firstAtOrAfter(from)
-	p.debugf("c%d RECOVER from=%d resumePC=%#x resumeTrace=%d squash=%d+fq%d", p.cycle, from, resumePC, resumeTrace, len(p.rob)-idx, len(p.fq))
+	if p.dbg != nil {
+		p.debugf("c%d RECOVER from=%d resumePC=%#x resumeTrace=%d squash=%d+fq%d", p.cycle, from, resumePC, resumeTrace, p.rob.len()-idx, p.fq.len())
+	}
 	canceledCompletedStore := false
 
+	if idx < p.rob.len() {
+		// Restore the RAT from the checkpoint taken before the first
+		// squashed instruction renamed. (Read it before the squash loop
+		// below recycles entries to the pool.)
+		copy(p.rat, p.rob.at(idx).ratSnap)
+	}
+
 	// Squash ROB suffix, youngest first, returning rename resources.
-	for i := len(p.rob) - 1; i >= idx; i-- {
-		e := p.rob[i]
+	// Entries with a pending completion event stay alive until the wheel
+	// drains them; the rest go straight back to the pool.
+	for i := p.rob.len() - 1; i >= idx; i-- {
+		e := p.rob.at(i)
 		e.squashed = true
 		p.stats.Squashed++
 		if e.hasDest {
@@ -470,21 +633,21 @@ func (p *Pipeline) recover(from seqnum.Seq, resumePC uint64, resumeTrace int, gh
 			p.pred.ProducerDone(e.produceTag, true)
 			e.produceTag = core.NoTag
 		}
+		if !e.inWheel {
+			p.freeEntry(e)
+		}
 	}
-	if idx < len(p.rob) {
-		// Restore the RAT from the checkpoint taken before the first
-		// squashed instruction renamed.
-		copy(p.rat, p.rob[idx].ratSnap)
-		p.rob = p.rob[:idx]
-	}
+	p.rob.truncate(idx)
 
 	// The fetch queue is strictly younger than the ROB; clear it.
-	p.stats.Squashed += uint64(len(p.fq))
-	p.fq = p.fq[:0]
+	p.stats.Squashed += uint64(p.fq.len())
+	p.fq.clear()
 
 	p.msys.squashFrom(from)
 	p.stats.SFCLiveSum += uint64(p.sfcLiveStores)
-	p.debugf("c%d FLUSH-SFC canceled=%v live=%d", p.cycle, canceledCompletedStore, p.sfcLiveStores)
+	if p.dbg != nil {
+		p.debugf("c%d FLUSH-SFC canceled=%v live=%d", p.cycle, canceledCompletedStore, p.sfcLiveStores)
+	}
 	// The flushed window covers every canceled sequence number: [from,
 	// latest allocated]. Sequence numbers allocated after recovery are
 	// larger, so the window never covers live instructions.
@@ -505,8 +668,8 @@ func (p *Pipeline) recover(from seqnum.Seq, resumePC uint64, resumeTrace int, gh
 // Retirement.
 
 func (p *Pipeline) retire() {
-	for n := 0; n < p.cfg.Width && len(p.rob) > 0; n++ {
-		e := p.rob[0]
+	for n := 0; n < p.cfg.Width && p.rob.len() > 0; n++ {
+		e := p.rob.at(0)
 		if !e.completed || e.squashed {
 			return
 		}
@@ -525,7 +688,7 @@ func (p *Pipeline) retire() {
 			p.fail(err)
 			return
 		}
-		if e.isLoad || e.isStore {
+		if p.dbg != nil && (e.isLoad || e.isStore) {
 			p.debugf("c%d RETIRE seq=%d ti=%d pc=%#x %s addr=%#x", p.cycle, e.seq, e.traceIdx, e.pc, e.inst, e.memAddr)
 		}
 		// Commit.
@@ -566,11 +729,19 @@ func (p *Pipeline) retire() {
 			p.pred.ProducerDone(e.produceTag, false)
 			e.produceTag = core.NoTag
 		}
-		p.rob = p.rob[1:]
+		p.rob.popFront()
 		p.retired++
 		p.stats.Retired++
 		p.lastRetireCycle = p.cycle
-		if e.inst.Op == isa.OpHalt || p.retired >= p.trace.Len() {
+		isHalt := e.inst.Op == isa.OpHalt
+		// A retiring entry's completion event has already drained (it
+		// completed), so the ROB held the last reference. The inWheel check
+		// is defensive: leaking an entry is recoverable, recycling one with
+		// a live wheel reference is not.
+		if !e.inWheel {
+			p.freeEntry(e)
+		}
+		if isHalt || p.retired >= p.trace.Len() {
 			p.done = true
 			return
 		}
@@ -609,8 +780,8 @@ func (p *Pipeline) validateRetire(e *entry) error {
 }
 
 func (p *Pipeline) clearStallBits() {
-	for _, e := range p.rob {
-		e.stall = false
+	for i := 0; i < p.rob.len(); i++ {
+		p.rob.at(i).stall = false
 	}
 }
 
@@ -620,8 +791,8 @@ func (p *Pipeline) clearStallBits() {
 func (p *Pipeline) issue() {
 	issued := 0
 	memIssued := 0
-	for i := 0; i < len(p.rob) && issued < p.cfg.NumFUs; i++ {
-		e := p.rob[i]
+	for i := 0; i < p.rob.len() && issued < p.cfg.NumFUs; i++ {
+		e := p.rob.at(i)
 		if e.issued || e.squashed {
 			continue
 		}
@@ -802,7 +973,9 @@ func (p *Pipeline) executeLoad(e *entry, head bool) {
 	// otherwise).
 	e.memAddr = addr &^ (uint64(e.memSize) - 1)
 	out := p.msys.executeLoad(e, head)
-	p.debugf("c%d LOAD  seq=%d ti=%d pc=%#x addr=%#x head=%v replay=%v/%d val=%#x fwd=%v viol=%+v", p.cycle, e.seq, e.traceIdx, e.pc, e.memAddr, head, out.replay, out.cause, out.value, out.forwarded, out.violation)
+	if p.dbg != nil {
+		p.debugf("c%d LOAD  seq=%d ti=%d pc=%#x addr=%#x head=%v replay=%v/%d val=%#x fwd=%v viol=%+v", p.cycle, e.seq, e.traceIdx, e.pc, e.memAddr, head, out.replay, out.cause, out.value, out.forwarded, out.violation)
+	}
 	if p.done {
 		return
 	}
@@ -824,7 +997,9 @@ func (p *Pipeline) executeStore(e *entry, head bool) {
 	e.memAddr = addr &^ (uint64(e.memSize) - 1)
 	e.memVal = p.srcVal(e, 1) & arch.SizeMask(e.memSize)
 	out := p.msys.executeStore(e, head)
-	p.debugf("c%d STORE seq=%d ti=%d pc=%#x addr=%#x val=%#x head=%v replay=%v/%d viol=%+v", p.cycle, e.seq, e.traceIdx, e.pc, e.memAddr, e.memVal, head, out.replay, out.cause, out.violation)
+	if p.dbg != nil {
+		p.debugf("c%d STORE seq=%d ti=%d pc=%#x addr=%#x val=%#x head=%v replay=%v/%d viol=%+v", p.cycle, e.seq, e.traceIdx, e.pc, e.memAddr, e.memVal, head, out.replay, out.cause, out.violation)
+	}
 	if p.done {
 		return
 	}
@@ -859,20 +1034,20 @@ func (p *Pipeline) schedule(e *entry, lat int) {
 	if lat < 1 {
 		lat = 1
 	}
-	at := p.cycle + uint64(lat)
-	p.events[at] = append(p.events[at], e)
+	e.inWheel = true
+	p.events.Schedule(p.cycle, p.cycle+uint64(lat), e)
 }
 
 // ---------------------------------------------------------------------------
 // Dispatch (decode + memory dependence prediction + rename).
 
 func (p *Pipeline) dispatch() {
-	for n := 0; n < p.cfg.Width && len(p.fq) > 0; n++ {
-		f := p.fq[0]
+	for n := 0; n < p.cfg.Width && p.fq.len() > 0; n++ {
+		f := p.fq.at(0)
 		if f.readyAt > p.cycle {
 			return
 		}
-		if len(p.rob) >= p.cfg.ROBSize {
+		if p.rob.len() >= p.cfg.ROBSize {
 			p.stats.StallROBFull++
 			return
 		}
@@ -911,33 +1086,32 @@ func (p *Pipeline) dispatch() {
 			dtags = core.Dispatch{ConsumeTag: core.NoTag, ProduceTag: core.NoTag}
 		}
 
-		e := &entry{
-			seq:        f.seq,
-			pc:         f.pc,
-			inst:       in,
-			traceIdx:   f.traceIdx,
-			predNextPC: f.predNextPC,
-			ghrBefore:  f.ghrBefore,
-			ghrAfter:   f.ghrAfter,
-			newPhys:    noPhys,
-			oldPhys:    noPhys,
-			isLoad:     isLoad,
-			isStore:    isStore,
-			isCond:     in.Op.IsBranch(),
-			isJump:     in.Op.IsJump(),
-			consumeTag: dtags.ConsumeTag,
-			produceTag: dtags.ProduceTag,
-		}
+		e := p.allocEntry()
+		e.seq = f.seq
+		e.pc = f.pc
+		e.inst = in
+		e.traceIdx = f.traceIdx
+		e.predNextPC = f.predNextPC
+		e.ghrBefore = f.ghrBefore
+		e.ghrAfter = f.ghrAfter
+		e.newPhys = noPhys
+		e.oldPhys = noPhys
+		e.isLoad = isLoad
+		e.isStore = isStore
+		e.isCond = in.Op.IsBranch()
+		e.isJump = in.Op.IsJump()
+		e.consumeTag = dtags.ConsumeTag
+		e.produceTag = dtags.ProduceTag
 		e.consumeHeld = dtags.ConsumeTag != core.NoTag
 		if e.consumeHeld {
 			p.stats.PredConsumerWaits++
 		}
 
 		// Rename: checkpoint, map sources, allocate destination.
-		e.ratSnap = make([]physReg, isa.NumRegs)
 		copy(e.ratSnap, p.rat)
-		for _, r := range in.Sources() {
-			e.srcPhys[e.nSrc] = p.rat[r]
+		srcs, nSrc := in.SourceRegs()
+		for s := 0; s < nSrc; s++ {
+			e.srcPhys[e.nSrc] = p.rat[srcs[s]]
 			e.nSrc++
 		}
 		if hasDest {
@@ -958,8 +1132,8 @@ func (p *Pipeline) dispatch() {
 			p.msys.dispatchStore(e.seq, e.pc)
 		}
 
-		p.rob = append(p.rob, e)
-		p.fq = p.fq[1:]
+		p.rob.pushBack(e)
+		p.fq.popFront()
 		p.stats.Dispatched++
 	}
 }
@@ -976,7 +1150,7 @@ func (p *Pipeline) fetch() {
 	}
 	branches := 0
 	for n := 0; n < p.cfg.Width; n++ {
-		if len(p.fq) >= p.cfg.FetchQueueCap {
+		if p.fq.len() >= p.cfg.FetchQueueCap {
 			return
 		}
 		pc := p.fetchPC &^ 3
@@ -1053,7 +1227,7 @@ func (p *Pipeline) fetch() {
 			}
 		}
 
-		p.fq = append(p.fq, fqEntry{
+		p.fq.pushBack(fqEntry{
 			seq:        seq,
 			pc:         pc,
 			inst:       in,

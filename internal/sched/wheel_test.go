@@ -1,0 +1,154 @@
+package sched
+
+import "testing"
+
+func TestWheelHorizonRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 8}, {1, 8}, {8, 8}, {9, 16}, {100, 128}, {128, 128}, {129, 256},
+	} {
+		if got := NewWheel[int](tc.in).Horizon(); got != tc.want {
+			t.Errorf("NewWheel(%d).Horizon() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestWheelScheduleDue(t *testing.T) {
+	w := NewWheel[int](16)
+	w.Schedule(0, 3, 30)
+	w.Schedule(0, 1, 10)
+	w.Schedule(0, 3, 31)
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", w.Len())
+	}
+	for now := uint64(1); now <= 4; now++ {
+		got := w.Due(now)
+		switch now {
+		case 1:
+			if len(got) != 1 || got[0] != 10 {
+				t.Fatalf("Due(1) = %v", got)
+			}
+		case 3:
+			if len(got) != 2 || got[0] != 30 || got[1] != 31 {
+				t.Fatalf("Due(3) = %v (bucket order must be FIFO)", got)
+			}
+		default:
+			if len(got) != 0 {
+				t.Fatalf("Due(%d) = %v, want empty", now, got)
+			}
+		}
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len = %d after draining, want 0", w.Len())
+	}
+}
+
+func TestWheelOverflow(t *testing.T) {
+	w := NewWheel[int](8)
+	// 200 cycles out: beyond the 8-bucket horizon, must go to overflow and
+	// still surface at exactly the right cycle.
+	w.Schedule(0, 200, 99)
+	w.Schedule(0, 2, 2)
+	for now := uint64(1); now <= 300; now++ {
+		got := w.Due(now)
+		switch now {
+		case 2:
+			if len(got) != 1 || got[0] != 2 {
+				t.Fatalf("Due(2) = %v", got)
+			}
+		case 200:
+			if len(got) != 1 || got[0] != 99 {
+				t.Fatalf("Due(200) = %v, want [99]", got)
+			}
+		default:
+			if len(got) != 0 {
+				t.Fatalf("Due(%d) = %v, want empty", now, got)
+			}
+		}
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", w.Len())
+	}
+}
+
+func TestWheelBucketReuseAfterWrap(t *testing.T) {
+	w := NewWheel[int](8)
+	// Same bucket index (now+8 maps to the same slot after the drain), used
+	// across two wraps.
+	for round := 0; round < 3; round++ {
+		now := uint64(round * 8)
+		w.Schedule(now, now+5, round)
+		for c := now + 1; c <= now+8; c++ {
+			got := w.Due(c)
+			if c == now+5 {
+				if len(got) != 1 || got[0] != round {
+					t.Fatalf("round %d: Due(%d) = %v", round, c, got)
+				}
+			} else if len(got) != 0 {
+				t.Fatalf("round %d: Due(%d) = %v, want empty", round, c, got)
+			}
+		}
+	}
+}
+
+func TestWheelScheduleDuringDue(t *testing.T) {
+	// The returned slice must stay intact if the consumer schedules new
+	// events (possibly into the same bucket) while iterating it.
+	w := NewWheel[*int](8)
+	a, b := new(int), new(int)
+	*a, *b = 1, 2
+	w.Schedule(0, 1, a)
+	w.Schedule(0, 1, b)
+	due := w.Due(1)
+	if len(due) != 2 {
+		t.Fatalf("Due(1) returned %d items", len(due))
+	}
+	c := new(int)
+	*c = 3
+	w.Schedule(1, 9, c) // 9&7 == 1&7: same bucket as the one just drained
+	if *due[0] != 1 || *due[1] != 2 {
+		t.Fatalf("Due result clobbered by Schedule into same bucket: %d %d", *due[0], *due[1])
+	}
+	if got := w.Due(9); len(got) != 1 || *got[0] != 3 {
+		t.Fatalf("Due(9) = %v", got)
+	}
+}
+
+func TestWheelReset(t *testing.T) {
+	w := NewWheel[int](8)
+	w.Schedule(0, 2, 1)
+	w.Schedule(0, 3, 2)
+	w.Schedule(0, 100, 3) // overflow
+	var visited []int
+	w.Reset(func(v int) { visited = append(visited, v) })
+	if w.Len() != 0 {
+		t.Fatalf("Len = %d after Reset, want 0", w.Len())
+	}
+	if len(visited) != 3 {
+		t.Fatalf("Reset visited %v, want all 3 pending events", visited)
+	}
+	for now := uint64(1); now <= 110; now++ {
+		if got := w.Due(now); len(got) != 0 {
+			t.Fatalf("Due(%d) = %v after Reset, want empty", now, got)
+		}
+	}
+}
+
+func TestWheelSteadyStateAllocs(t *testing.T) {
+	w := NewWheel[int](64)
+	now := uint64(0)
+	// Warm up so buckets and scratch reach steady-state capacity.
+	for i := 0; i < 1000; i++ {
+		now++
+		w.Schedule(now, now+uint64(1+i%50), i)
+		w.Due(now)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		now++
+		w.Schedule(now, now+3, 1)
+		w.Schedule(now, now+17, 2)
+		w.Due(now)
+	})
+	if avg != 0 {
+		t.Errorf("steady-state Schedule+Due allocates %v allocs/op, want 0", avg)
+	}
+}

@@ -58,3 +58,7 @@ func (a *Allocator) Next() Seq {
 
 // Peek returns the sequence number the next call to Next will return.
 func (a *Allocator) Peek() Seq { return a.next }
+
+// Reset restarts the allocator so its next call to Next returns 1 again
+// (used when a pipeline is rebound to a new run).
+func (a *Allocator) Reset() { a.next = 1 }

@@ -1,0 +1,51 @@
+package sim_test
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"sfcmdt/sim"
+)
+
+// TestFigure5MatchesSeedGolden pins the Figure 5 table output to a golden
+// file captured from the seed implementation (map-based event scheduling,
+// per-dispatch entry allocation, no pipeline reuse) at a 5000-instruction
+// budget. The event wheel, entry pool, and Pipeline.Reset reuse path are
+// required to be transparent: every IPC and normalization in the table must
+// be byte-identical to the seed's.
+func TestFigure5MatchesSeedGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all 20 workloads x 3 variants")
+	}
+	want, err := os.ReadFile("testdata/figure5_seed.golden")
+	if err != nil {
+		t.Fatalf("reading golden: %v", err)
+	}
+	r := sim.NewRunner(5000)
+	tab, err := sim.Figure5(r)
+	if err != nil {
+		t.Fatalf("Figure5: %v", err)
+	}
+	var got bytes.Buffer
+	tab.Fprint(&got)
+	if bytes.Equal(got.Bytes(), want) {
+		return
+	}
+	gl := strings.Split(got.String(), "\n")
+	wl := strings.Split(string(want), "\n")
+	for i := 0; i < len(gl) || i < len(wl); i++ {
+		var g, w string
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if g != w {
+			t.Errorf("line %d:\n got:  %q\n want: %q", i+1, g, w)
+		}
+	}
+	t.Fatal("Figure5 output differs from seed golden")
+}
