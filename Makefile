@@ -1,7 +1,9 @@
 # Developer/CI entry points. `make ci` is the gate a change must pass:
 # vet + build + race-enabled tests + a single-iteration benchmark smoke run
 # (catches benchmarks that no longer compile or crash without paying for a
-# full measurement).
+# full measurement) + the measured suite diffed against the committed
+# baseline report (calibration-normalized ns/op, exact alloc and zero-byte
+# guarantees, and a failure on any entry the baseline is missing).
 
 GO ?= go
 
@@ -30,7 +32,7 @@ bench:
 
 # Regenerate the machine-readable benchmark report.
 bench-json:
-	$(GO) run ./cmd/sfcbench -insts 20000 -json BENCH_PR1.json bench all
+	$(GO) run ./cmd/sfcbench -insts 20000 -json BENCH_PR2.json bench all
 
 # Diff a fresh run against the committed report. The tool's default
 # tolerance (10%) suits a quiet, pinned machine; shared runners see
@@ -39,6 +41,6 @@ bench-json:
 # slips, but alloc regressions are always flagged exactly, and losing the
 # event wheel (+700% ns/op) or the entry pool (+2000%) trips it instantly.
 bench-check:
-	$(GO) run ./cmd/sfcbench -insts 20000 -baseline BENCH_PR1.json -tolerance 0.5 bench all
+	$(GO) run ./cmd/sfcbench -insts 20000 -baseline BENCH_PR2.json -tolerance 0.5 bench all
 
-ci: vet build race bench-smoke
+ci: vet build race bench-smoke bench-check

@@ -242,13 +242,16 @@ func benchStoreFIFO(uint64) (benchResult, error) {
 // Whole-simulator entries: steady-state cycle cost and the Figure 5 macro
 // run, both reporting simulated MIPS.
 
-func steadyPipeline(insts uint64) (*pipeline.Pipeline, error) {
+func steadyPipeline(insts uint64, mutate func(*pipeline.Config)) (*pipeline.Pipeline, error) {
 	w, ok := workload.Get("swim")
 	if !ok {
 		return nil, fmt.Errorf("workload swim not registered")
 	}
 	img := w.Build()
 	cfg := harness.BaselineConfig(harness.MDTSFCEnf, insts)
+	if mutate != nil {
+		mutate(&cfg)
+	}
 	tr, err := arch.RunTrace(img, insts)
 	if err != nil {
 		return nil, err
@@ -256,30 +259,45 @@ func steadyPipeline(insts uint64) (*pipeline.Pipeline, error) {
 	return pipeline.NewWithTrace(cfg, img, tr)
 }
 
-func benchPipelineCycle(insts uint64) (benchResult, error) {
+// warmPipeline steps past cold caches, entry-pool fill, and the store-touched
+// sparse-memory pages, so a subsequent timed region measures pure steady
+// state. The warmup is what lets the baseline gate assert exact zero bytes
+// per op: the seed report's stray 1 B/op was cold stepping after an on-clock
+// rebind (pool refill plus first-touch page faults) smeared across b.N.
+func warmPipeline(p *pipeline.Pipeline) error {
+	for i := 0; i < 20_000; i++ {
+		if !p.Step() {
+			return fmt.Errorf("pipeline finished during warmup; raise -insts")
+		}
+	}
+	return nil
+}
+
+// benchSteadyStep times Pipeline.Step on a warm pipeline under the baseline
+// MDT+SFC configuration (optionally mutated). When a pipeline exhausts its
+// instruction budget mid-measurement, the rebuild AND its re-warm both stay
+// off the clock; with -insts >= 100k that happens at most every ~70k ops.
+func benchSteadyStep(name string, insts uint64, mutate func(*pipeline.Config)) (benchResult, error) {
 	if insts < 100_000 {
 		insts = 100_000
 	}
-	p, err := steadyPipeline(insts)
+	p, err := steadyPipeline(insts, mutate)
 	if err != nil {
 		return benchResult{}, err
 	}
-	for i := 0; i < 20_000; i++ { // past cold caches and pool fill
-		if !p.Step() {
-			return benchResult{}, fmt.Errorf("pipeline finished during warmup; raise -insts")
-		}
+	if err := warmPipeline(p); err != nil {
+		return benchResult{}, err
 	}
 	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if !p.Step() {
-				// End of budget: rebind a fresh run so long benchtime
-				// values stay meaningful; with -insts >= 100k this
-				// happens at most every ~70k ops. The rebuild (trace
-				// regeneration included) stays off the clock.
 				b.StopTimer()
-				np, err := steadyPipeline(insts)
+				np, err := steadyPipeline(insts, mutate)
 				if err != nil {
+					b.Fatal(err)
+				}
+				if err := warmPipeline(np); err != nil {
 					b.Fatal(err)
 				}
 				p = np
@@ -287,11 +305,21 @@ func benchPipelineCycle(insts uint64) (benchResult, error) {
 			}
 		}
 	})
-	r := fromResult("pipeline-steady-cycle", res)
+	return fromResult(name, res), nil
+}
+
+func benchPipelineCycle(insts uint64) (benchResult, error) {
+	r, err := benchSteadyStep("pipeline-steady-cycle", insts, nil)
+	if err != nil {
+		return benchResult{}, err
+	}
 	// Dedicated timed window for simulated MIPS, independent of
 	// testing.Benchmark's iteration accounting: step a warm pipeline for a
 	// fixed cycle count and divide retired instructions by wall time.
-	mp, err := steadyPipeline(insts)
+	if insts < 100_000 {
+		insts = 100_000
+	}
+	mp, err := steadyPipeline(insts, nil)
 	if err != nil {
 		return benchResult{}, err
 	}
@@ -306,6 +334,23 @@ func benchPipelineCycle(insts uint64) (benchResult, error) {
 		r.MIPS = float64(mp.Stats().Retired-retired0) / us
 	}
 	return r, nil
+}
+
+// Scheduler comparison: the same steady-state swim run under the wakeup
+// scheduler (ready bitset + consumer lists, the shipped default) and under
+// the retained linear ROB scan (Config.LinearScanScheduler, the oracle the
+// differential test pins the wakeup scheduler against). The two issue
+// bit-identical instruction sequences, so the ns/op gap is pure scheduling
+// overhead: O(ready) bitset walk versus O(window) re-scan at a 128-entry ROB.
+
+func benchIssueWakeup(insts uint64) (benchResult, error) {
+	return benchSteadyStep("issue-wakeup", insts, nil)
+}
+
+func benchIssueScan(insts uint64) (benchResult, error) {
+	return benchSteadyStep("issue-scan", insts, func(cfg *pipeline.Config) {
+		cfg.LinearScanScheduler = true
+	})
 }
 
 func benchFigure5(insts uint64) (benchResult, error) {
@@ -348,6 +393,8 @@ var benchSuite = []benchEntry{
 	{"sfc-store-load-retire", benchSFC},
 	{"mdt-probe-pair", benchMDT},
 	{"storefifo-push-pop", benchStoreFIFO},
+	{"issue-wakeup", benchIssueWakeup},
+	{"issue-scan", benchIssueScan},
 	{"pipeline-steady-cycle", benchPipelineCycle},
 	{"figure5-macro", benchFigure5},
 }
@@ -358,6 +405,7 @@ var benchSuite = []benchEntry{
 var informational = map[string]bool{
 	"event-map-cycle":      true,
 	"entry-unpooled-cycle": true,
+	"issue-scan":           true,
 }
 
 // runBenchSuite executes the selected entries (names, or everything for
@@ -467,9 +515,17 @@ func compareBaseline(path string, tolerance float64, results []benchResult) ([]s
 	}
 	var regressions []string
 	for _, r := range results {
+		if r.Name == calibrationName {
+			continue // the yardstick itself
+		}
 		b, ok := baseline[r.Name]
-		if !ok || r.Name == calibrationName {
-			continue // new benchmark (or the yardstick itself)
+		if !ok {
+			// A measured entry the baseline has never seen is a gate with no
+			// teeth: every later run would "pass" it vacuously. Fail loudly so
+			// the baseline file gets regenerated alongside the new benchmark.
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: missing from baseline %s (regenerate it to cover new benchmarks)", r.Name, path))
+			continue
 		}
 		if want := b.NsPerOp * scale; !informational[r.Name] && b.NsPerOp > 0 && r.NsPerOp > want*(1+tolerance) {
 			regressions = append(regressions, fmt.Sprintf(
@@ -480,6 +536,14 @@ func compareBaseline(path string, tolerance float64, results []benchResult) ([]s
 			regressions = append(regressions, fmt.Sprintf(
 				"%s: allocs/op %.2f -> %.2f",
 				r.Name, b.AllocsPerOp, r.AllocsPerOp))
+		}
+		// A zero-byte guarantee is exact: any bytes at all on an entry the
+		// baseline records as allocation-free is a leak back onto the cycle
+		// path, however cheap this run happened to measure it.
+		if b.BytesPerOp == 0 && r.BytesPerOp > 0 {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: bytes/op 0 -> %.2f (zero-byte guarantee broken)",
+				r.Name, r.BytesPerOp))
 		}
 	}
 	return regressions, nil

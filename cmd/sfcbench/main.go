@@ -9,11 +9,14 @@
 //
 // The bench subcommand runs the performance suite (event-wheel vs map
 // scheduling, pooled vs unpooled entry churn, SFC/MDT/store-FIFO
-// micro-benchmarks, the steady-state pipeline cycle, and the Figure 5 macro
-// run) and reports ns/op, B/op, allocs/op, and simulated MIPS per entry.
-// -json writes the rows to a file (the committed BENCH_PR1.json is one such
-// report); -baseline diffs the fresh rows against a committed report and
-// exits nonzero when any entry regresses by more than -tolerance.
+// micro-benchmarks, the wakeup vs linear-scan issue schedulers, the
+// steady-state pipeline cycle, and the Figure 5 macro run) and reports
+// ns/op, B/op, allocs/op, and simulated MIPS per entry. -json writes the
+// rows to a file (the committed BENCH_PR2.json is one such report);
+// -baseline diffs the fresh rows against a committed report and exits
+// nonzero when any entry regresses by more than -tolerance, allocates where
+// the baseline did not, or is missing from the baseline file.
+// -cpuprofile/-memprofile write pprof profiles covering the suite run.
 //
 // Experiments:
 //
@@ -42,6 +45,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"sfcmdt/internal/harness"
@@ -54,6 +59,8 @@ func main() {
 	baseline := flag.String("baseline", "", "compare bench results against this JSON report; exit 1 on regression")
 	tolerance := flag.Float64("tolerance", 0.10, "fractional ns/op regression tolerated by -baseline")
 	repeat := flag.Int("repeat", 3, "measure each benchmark N times and keep the fastest (noise suppression)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the bench suite to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile taken after the bench suite to this file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: sfcbench [-insts N] [-v] <experiment>...\n       sfcbench [-insts N] [-v] [-json FILE] [-baseline FILE] [-tolerance F] bench [name...]\n\nexperiments: figure4 figure5 figure6 violations enf-vs-notenf conflicts assoc16 corruption granularity recovery tagged-vs-untagged flush-endpoints window-scaling search-work value-replay multi-version structure-scaling search-filter all\n")
 		flag.PrintDefaults()
@@ -64,10 +71,36 @@ func main() {
 		os.Exit(2)
 	}
 	if flag.Arg(0) == "bench" {
+		if *cpuProfile != "" {
+			f, err := os.Create(*cpuProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sfcbench: cpuprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			if err := pprof.StartCPUProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "sfcbench: cpuprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer pprof.StopCPUProfile()
+		}
 		results, err := runBenchSuite(flag.Args()[1:], *insts, *repeat, *verbose)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sfcbench: bench: %v\n", err)
 			os.Exit(1)
+		}
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sfcbench: memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			runtime.GC() // flush outstanding allocations into the profile
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "sfcbench: memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
 		}
 		printBenchTable(results)
 		if *jsonOut != "" {

@@ -36,6 +36,13 @@ type Record struct {
 type Trace struct {
 	Recs   []Record
 	Halted bool // true if the program executed HALT within the budget
+
+	// Dec is the pre-decoded static code segment (Dec[i] describes the
+	// instruction at CodeBase+4*i). RunTrace builds it once per program; the
+	// harness shares the trace — and with it this table — across every
+	// configuration run and worker goroutine. It is read-only after
+	// construction.
+	Dec []isa.DecodedInst
 }
 
 // Len returns the number of records.
@@ -49,7 +56,10 @@ func (t *Trace) At(i int) *Record { return &t.Recs[i] }
 // dynamic instruction stream and validates its own retirement against it.
 func RunTrace(img *prog.Image, maxInsts uint64) (*Trace, error) {
 	m := New(img)
-	t := &Trace{Recs: make([]Record, 0, min64(maxInsts, 1<<20))}
+	t := &Trace{
+		Recs: make([]Record, 0, min64(maxInsts, 1<<20)),
+		Dec:  isa.Predecode(img.Code),
+	}
 	for m.Count < maxInsts && !m.Halted {
 		rec, err := m.Step()
 		if err != nil {

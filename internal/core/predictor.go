@@ -115,6 +115,14 @@ type Predictor struct {
 
 	nextSet uint32
 
+	// WakeHook, when non-nil, fires each time a tag transitions from
+	// not-ready to ready (producer issue, or forced readiness when a
+	// producer is squashed). The pipeline's wakeup scheduler uses it to arm
+	// waiting consumers instead of polling TagReady every cycle. The hook
+	// runs synchronously inside ProducerComplete/ProducerDone and must not
+	// call back into the predictor.
+	WakeHook func(TagID)
+
 	// Stats.
 	Violations     uint64
 	SetsAllocated  uint64
@@ -248,7 +256,21 @@ func (p *Predictor) TagReady(tag TagID) bool {
 // ProducerComplete marks a produced tag ready, waking its consumers.
 func (p *Predictor) ProducerComplete(tag TagID) {
 	if tag != NoTag {
-		p.tags[tag].ready = true
+		p.setReady(tag)
+	}
+}
+
+// setReady marks a tag ready and fires the wake hook on the first
+// transition. Readiness is monotone for a tag's lifetime: it is cleared only
+// when allocTag recycles the tag for a new producer.
+func (p *Predictor) setReady(tag TagID) {
+	t := &p.tags[tag]
+	if t.ready {
+		return
+	}
+	t.ready = true
+	if p.WakeHook != nil {
+		p.WakeHook(tag)
 	}
 }
 
@@ -261,7 +283,7 @@ func (p *Predictor) ProducerDone(tag TagID, squashed bool) {
 		return
 	}
 	if squashed {
-		p.tags[tag].ready = true
+		p.setReady(tag)
 	}
 	p.unref(tag)
 }

@@ -139,7 +139,7 @@ func (r *Runner) RunAll(jobs []Job) []Result {
 	// worker fan-out with trace builds).
 	for _, j := range jobs {
 		if _, _, err := r.materialize(j.W); err != nil {
-			break // the per-job Run will surface the error
+			continue // the per-job Run will surface the error
 		}
 	}
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))

@@ -1,0 +1,60 @@
+package isa
+
+// DecodedInst caches every per-opcode property the pipeline's fetch,
+// dispatch, and execute stages would otherwise re-derive from opTable for
+// each dynamic instance of an instruction: functional class (which doubles
+// as the latency class), source and destination registers, and memory access
+// width and extension. The harness builds one []DecodedInst per program
+// (indexed by static code position) and shares it read-only across every
+// configuration run and worker goroutine, so the table must never be
+// mutated after Predecode returns.
+type DecodedInst struct {
+	Inst  Inst
+	Class Class
+
+	SrcRegs [2]Reg
+	NSrc    uint8
+
+	DestReg Reg
+	HasDest bool
+
+	IsLoad   bool
+	IsStore  bool
+	IsBranch bool
+	IsJump   bool
+
+	MemSize int // access size in bytes; 0 for non-memory ops
+	Signed  bool
+}
+
+// PredecodeInst derives the cached metadata for one instruction.
+func PredecodeInst(in Inst) DecodedInst {
+	d := DecodedInst{
+		Inst:     in,
+		Class:    in.Op.Class(),
+		IsLoad:   in.Op.IsLoad(),
+		IsStore:  in.Op.IsStore(),
+		IsBranch: in.Op.IsBranch(),
+		IsJump:   in.Op.IsJump(),
+		MemSize:  in.Op.MemSize(),
+		Signed:   in.Op.Signed(),
+	}
+	d.SrcRegs, d.NSrc = sourceRegsCounted(in)
+	d.DestReg, d.HasDest = in.Dest()
+	return d
+}
+
+func sourceRegsCounted(in Inst) ([2]Reg, uint8) {
+	srcs, n := in.SourceRegs()
+	return srcs, uint8(n)
+}
+
+// Predecode builds the shared decoded-instruction table for a code segment.
+// The entry at index i describes code[i] (the instruction at CodeBase+4*i).
+func Predecode(code []Inst) []DecodedInst {
+	out := make([]DecodedInst, len(code))
+	for i, in := range code {
+		out[i] = PredecodeInst(in)
+	}
+	return out
+}

@@ -125,6 +125,13 @@ type Config struct {
 	// DisableValidation turns off golden-trace retirement validation
 	// (never needed in practice; kept for timing micro-experiments).
 	DisableValidation bool
+
+	// LinearScanScheduler selects the retired O(window) issue loop that
+	// re-scans the whole ROB every cycle instead of the wakeup-driven ready
+	// bitset. The two schedulers issue identical instruction sequences (a
+	// differential test enforces it); the scan is kept as the oracle and for
+	// the issue-scan benchmark entry.
+	LinearScanScheduler bool
 }
 
 // Validate fills defaults and checks consistency.

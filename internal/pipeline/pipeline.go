@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"fmt"
+	"math/bits"
 
 	"sfcmdt/internal/arch"
 	"sfcmdt/internal/bpred"
@@ -24,6 +25,7 @@ type entry struct {
 	seq  seqnum.Seq
 	pc   uint64
 	inst isa.Inst
+	dec  *isa.DecodedInst // shared read-only pre-decoded metadata
 
 	traceIdx   int // index into the golden trace; -1 on the wrong path
 	predNextPC uint64
@@ -38,6 +40,12 @@ type entry struct {
 	oldPhys  physReg
 	destArch isa.Reg
 	hasDest  bool
+
+	// Wakeup-scheduler state: the ROB ring slot this entry occupies (its
+	// bit index in the ready bitset) and how many of its source registers
+	// are still waiting for a producer's writeback.
+	slot      int32
+	waitCount int8
 
 	issued    bool
 	completed bool
@@ -85,7 +93,7 @@ type entry struct {
 type fqEntry struct {
 	seq        seqnum.Seq
 	pc         uint64
-	inst       isa.Inst
+	dec        *isa.DecodedInst
 	traceIdx   int
 	predNextPC uint64
 	ghrBefore  uint32
@@ -93,6 +101,19 @@ type fqEntry struct {
 	readyAt    uint64 // earliest dispatch cycle (front-end depth)
 	isHalt     bool
 }
+
+// waiter records one entry waiting for a wakeup — a source register's
+// writeback or a dependence tag turning ready. Sequence numbers are unique
+// within a run, so a record whose entry was recycled (or squashed) no longer
+// matches and is skipped at drain time; lists never need eager removal.
+type waiter struct {
+	e   *entry
+	seq seqnum.Seq
+}
+
+// wrongPathNop is the decoded instruction fed to fetch when a wrong-path PC
+// leaves the code segment.
+var wrongPathNop = isa.PredecodeInst(isa.Inst{Op: isa.OpNop})
 
 // Pipeline is one configured processor instance bound to one program trace.
 type Pipeline struct {
@@ -115,6 +136,24 @@ type Pipeline struct {
 
 	rob robQueue
 	fq  fqQueue
+
+	// Wakeup-driven scheduler state. readyBits holds one bit per ROB ring
+	// slot, set exactly when that slot's entry could issue (ignoring the
+	// per-cycle FU/memory-port limits and the head-of-ROB bypass); issue
+	// walks only the set bits in age order. consumers[r] lists entries
+	// waiting on physical register r's writeback; tagWaiters[t] lists
+	// predicted consumers waiting on dependence tag t. Waiter records
+	// self-invalidate via sequence numbers, so the lists are append-only
+	// between drains and are never searched.
+	readyBits  []uint64
+	consumers  [][]waiter
+	tagWaiters [][]waiter
+
+	// Pre-decoded static code segment, shared read-only with the golden
+	// trace (and through it with every other run of the same workload).
+	dec       []isa.DecodedInst
+	codeBase  uint64
+	codeLimit uint64
 
 	// Completion events, held in a fixed-horizon timing wheel keyed by
 	// absolute cycle (allocation-free in steady state).
@@ -239,6 +278,43 @@ func (p *Pipeline) Reset(cfg Config, img *prog.Image, trace *arch.Trace) error {
 	}
 	p.rob.init(cfg.ROBSize)
 	p.fq.init(cfg.FetchQueueCap)
+
+	// Wakeup-scheduler state: one ready bit per ROB ring slot, a consumer
+	// list per physical register, a waiter list per dependence tag. The
+	// backing arrays (and each list's capacity) survive resets.
+	if words := (cfg.ROBSize + 63) / 64; len(p.readyBits) < words {
+		p.readyBits = make([]uint64, words)
+	} else {
+		for i := range p.readyBits {
+			p.readyBits[i] = 0
+		}
+	}
+	if len(p.consumers) < nPhys {
+		p.consumers = make([][]waiter, nPhys)
+	} else {
+		for i := range p.consumers {
+			p.consumers[i] = p.consumers[i][:0]
+		}
+	}
+	if nTags := p.pred.Config().NumTags; len(p.tagWaiters) < nTags {
+		p.tagWaiters = make([][]waiter, nTags)
+	} else {
+		for i := range p.tagWaiters {
+			p.tagWaiters[i] = p.tagWaiters[i][:0]
+		}
+	}
+	p.pred.WakeHook = p.onTagReady
+
+	// Bind the shared pre-decoded code table; a trace built outside
+	// arch.RunTrace (or against a different image) falls back to decoding
+	// here.
+	if len(trace.Dec) == len(img.Code) {
+		p.dec = trace.Dec
+	} else {
+		p.dec = isa.Predecode(img.Code)
+	}
+	p.codeBase = img.CodeBase
+	p.codeLimit = img.CodeLimit()
 	drain := func(e *entry) {
 		e.inWheel = false
 		p.freeEntry(e)
@@ -497,6 +573,7 @@ func (p *Pipeline) completeEntry(e *entry) {
 	if e.hasDest {
 		p.physVal[e.newPhys] = e.result
 		p.physReady[e.newPhys] = true
+		p.wakeRegister(e.newPhys)
 	}
 	// Branch resolution.
 	if e.isCond || e.isJump {
@@ -617,6 +694,7 @@ func (p *Pipeline) recover(from seqnum.Seq, resumePC uint64, resumeTrace int, gh
 	for i := p.rob.len() - 1; i >= idx; i-- {
 		e := p.rob.at(i)
 		e.squashed = true
+		p.clearReadyBit(e.slot)
 		p.stats.Squashed++
 		if e.hasDest {
 			p.freePhys = append(p.freePhys, e.newPhys)
@@ -729,6 +807,9 @@ func (p *Pipeline) retire() {
 			p.pred.ProducerDone(e.produceTag, false)
 			e.produceTag = core.NoTag
 		}
+		// The vacated ring slot must hand a clear ready bit to its next
+		// occupant (under the scan oracle, issue never cleared it).
+		p.clearReadyBit(e.slot)
 		p.rob.popFront()
 		p.retired++
 		p.stats.Retired++
@@ -779,16 +860,202 @@ func (p *Pipeline) validateRetire(e *entry) error {
 	return nil
 }
 
+// clearStallBits clears every replay stall bit when the memory unit frees an
+// entry (§2.4.3) and re-arms stalled instructions that are now issuable.
 func (p *Pipeline) clearStallBits() {
 	for i := 0; i < p.rob.len(); i++ {
-		p.rob.at(i).stall = false
+		e := p.rob.at(i)
+		if e.stall {
+			e.stall = false
+			// Arm without consulting the dependence tag: a replayed entry no
+			// longer holds a consume reference, so its tag can be recycled (and
+			// lose readiness) at any time before issue. issueRange re-samples
+			// TagReady at issue time — exactly when the scan oracle polls it —
+			// and parks the entry on the tag's waiter list if it fails.
+			if !e.issued && !e.squashed && e.waitCount == 0 {
+				p.setReadyBit(e.slot)
+			}
+		}
 	}
 }
 
 // ---------------------------------------------------------------------------
 // Issue / execute.
+//
+// The scheduler is wakeup-driven: a ready bitset over ROB ring slots holds
+// exactly the entries the retired linear scan would find issuable (minus the
+// head-of-ROB bypass and the per-cycle FU/port limits, which issue applies
+// itself). Bits are maintained incrementally — dispatch arms entries whose
+// operands are already ready, register writeback drains consumer lists, the
+// predictor's wake hook drains tag-waiter lists, replay-stall clearing
+// re-arms, and squash/retire disarm — so a cycle's issue cost scales with
+// the number of ready instructions instead of the window size.
+
+func (p *Pipeline) setReadyBit(slot int32)   { p.readyBits[slot>>6] |= 1 << uint(slot&63) }
+func (p *Pipeline) clearReadyBit(slot int32) { p.readyBits[slot>>6] &^= 1 << uint(slot&63) }
+
+// armIfIssuable sets e's ready bit when every per-entry issue precondition
+// holds: not yet issued, not squashed, all source registers ready, and — for
+// memory ops — no replay stall and a ready dependence tag. These are exactly
+// the conditions the linear scan re-evaluates per cycle; the head-of-ROB
+// bypass (§2.2) is handled separately in issue, so a blocked entry's bit
+// stays clear even when it is issuable as head.
+func (p *Pipeline) armIfIssuable(e *entry) {
+	if e.issued || e.squashed || e.waitCount != 0 {
+		return
+	}
+	if (e.isLoad || e.isStore) && (e.stall || !p.pred.TagReady(e.consumeTag)) {
+		return
+	}
+	p.setReadyBit(e.slot)
+}
+
+// wakeRegister drains r's consumer list at writeback: each still-live waiter
+// has one fewer outstanding source, and an entry whose last source just
+// became ready is armed. An entry with a duplicated source register holds
+// two records and is decremented twice, mirroring its waitCount of two.
+func (p *Pipeline) wakeRegister(r physReg) {
+	lst := p.consumers[r]
+	if len(lst) == 0 {
+		return
+	}
+	for i := range lst {
+		w := lst[i]
+		e := w.e
+		if e.seq != w.seq || e.pooled || e.squashed {
+			continue
+		}
+		e.waitCount--
+		if e.waitCount == 0 {
+			p.armIfIssuable(e)
+		}
+	}
+	p.consumers[r] = lst[:0]
+}
+
+// onTagReady is the predictor's wake hook: tag became ready (its producer
+// issued, or was squashed), so every consumer parked on it re-evaluates.
+// Readiness is monotone until the tag is recycled, and a tag cannot be
+// recycled while an unissued live consumer still holds a reference, so the
+// drained list never needs to survive into a tag's next incarnation.
+func (p *Pipeline) onTagReady(tag core.TagID) {
+	lst := p.tagWaiters[tag]
+	if len(lst) == 0 {
+		return
+	}
+	for i := range lst {
+		w := lst[i]
+		e := w.e
+		if e.seq != w.seq || e.pooled || e.squashed || e.issued {
+			continue
+		}
+		p.armIfIssuable(e)
+	}
+	p.tagWaiters[tag] = lst[:0]
+}
 
 func (p *Pipeline) issue() {
+	if p.cfg.LinearScanScheduler {
+		p.issueScan()
+		return
+	}
+	n := p.rob.len()
+	if n == 0 {
+		return
+	}
+	issued, memIssued := 0, 0
+	// Head-of-ROB bypass (§2.2): the oldest instruction ignores its replay
+	// stall and dependence tag, so it can be issuable with its ready bit
+	// clear. Evaluate it explicitly, exactly like the scan's i == 0 case.
+	h := p.rob.buf[p.rob.head]
+	if !h.issued && !h.squashed && h.waitCount == 0 {
+		p.clearReadyBit(h.slot)
+		p.execute(h, true)
+		issued++
+		if h.isLoad || h.isStore {
+			memIssued++
+		}
+		p.stats.Issued++
+		if p.done || issued >= p.cfg.NumFUs {
+			return
+		}
+	}
+	// Age-ordered bitset walk over the occupied ring region [head, head+n),
+	// split at the ring wrap into at most two linear segments. The head's
+	// bit was cleared above, so it is never issued twice.
+	end := p.rob.head + n
+	ringCap := len(p.rob.buf)
+	if end <= ringCap {
+		p.issueRange(p.rob.head, end, &issued, &memIssued)
+		return
+	}
+	if p.issueRange(p.rob.head, ringCap, &issued, &memIssued) {
+		p.issueRange(0, end-ringCap, &issued, &memIssued)
+	}
+}
+
+// issueRange issues armed entries in ring slots [lo, hi), oldest first, and
+// reports whether issue may continue into the next segment. After each
+// execution the current word is re-read: issuing a producer readies its
+// dependence tag, and the woken consumers — always younger, therefore later
+// in the walk — must be picked up this cycle exactly where the linear scan
+// would have reached them.
+func (p *Pipeline) issueRange(lo, hi int, issued, memIssued *int) bool {
+	for wi := lo >> 6; wi<<6 < hi; wi++ {
+		base := wi << 6
+		// mask selects the not-yet-visited [lo, hi) bits of this word.
+		mask := ^uint64(0)
+		if base < lo {
+			mask <<= uint(lo - base)
+		}
+		if rem := hi - base; rem < 64 {
+			mask &= uint64(1)<<uint(rem) - 1
+		}
+		for {
+			w := p.readyBits[wi] & mask
+			if w == 0 {
+				break
+			}
+			b := bits.TrailingZeros64(w)
+			mask &^= uint64(1)<<uint(b)<<1 - 1 // visited: b and everything older
+			e := p.rob.buf[base+b]
+			if e.isLoad || e.isStore {
+				if p.cfg.MemPorts > 0 && *memIssued >= p.cfg.MemPorts {
+					continue // port-limited this cycle; the bit stays armed
+				}
+				// Re-sample tag readiness at issue time, matching the scan
+				// oracle's per-cycle poll. An armed bit is only a hint for a
+				// replayed memory op: it released its consume reference at its
+				// first issue, so the tag may since have been recycled to a
+				// not-ready incarnation. Park the entry on that incarnation's
+				// waiter list; every incarnation becomes ready before the tag
+				// can be recycled again, so the wakeup is never lost.
+				if !p.pred.TagReady(e.consumeTag) {
+					p.clearReadyBit(e.slot)
+					p.tagWaiters[e.consumeTag] = append(p.tagWaiters[e.consumeTag], waiter{e, e.seq})
+					continue
+				}
+			}
+			p.clearReadyBit(e.slot)
+			p.execute(e, false)
+			*issued++
+			if e.isLoad || e.isStore {
+				*memIssued++
+			}
+			p.stats.Issued++
+			if p.done || *issued >= p.cfg.NumFUs {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// issueScan is the retired O(window) scheduler: re-scan the whole ROB every
+// cycle, re-checking each entry's operand and tag readiness. Kept as the
+// oracle for the wakeup scheduler's differential test (and the issue-scan
+// benchmark entry); selected by Config.LinearScanScheduler.
+func (p *Pipeline) issueScan() {
 	issued := 0
 	memIssued := 0
 	for i := 0; i < p.rob.len() && issued < p.cfg.NumFUs; i++ {
@@ -841,19 +1108,9 @@ func (p *Pipeline) execute(e *entry, head bool) {
 		p.pred.ReleaseConsume(e.consumeTag)
 		e.consumeHeld = false
 	}
-	// The scheduler marks the produced dependence tag ready once the
-	// instruction issues to the memory unit (§2.1), except that it
-	// "oracularly avoids awakening predicted consumers of loads and stores
-	// that will be replayed" (§3): readiness is deferred below until the
-	// memory unit accepts the instruction.
-	defer func() {
-		if e.issued && e.produceTag != core.NoTag {
-			p.pred.ProducerComplete(e.produceTag)
-		}
-	}()
 	in := e.inst
 	lat := p.cfg.IntLat
-	switch in.Op.Class() {
+	switch e.dec.Class {
 	case isa.ClassALU, isa.ClassNop, isa.ClassHalt:
 		e.result = p.aluResult(e)
 	case isa.ClassMul:
@@ -882,13 +1139,21 @@ func (p *Pipeline) execute(e *entry, head bool) {
 
 	case isa.ClassLoad:
 		p.executeLoad(e, head)
-		return
 
 	case isa.ClassStore:
 		p.executeStore(e, head)
-		return
 	}
-	p.schedule(e, lat)
+	if e.dec.Class != isa.ClassLoad && e.dec.Class != isa.ClassStore {
+		p.schedule(e, lat)
+	}
+	// The scheduler marks the produced dependence tag ready once the
+	// instruction issues to the memory unit (§2.1), except that it
+	// "oracularly avoids awakening predicted consumers of loads and stores
+	// that will be replayed" (§3): a replayed memory op has its issued flag
+	// reset by replay above, deferring readiness to a later attempt.
+	if e.issued && e.produceTag != core.NoTag {
+		p.pred.ProducerComplete(e.produceTag)
+	}
 }
 
 func (p *Pipeline) aluResult(e *entry) uint64 {
@@ -965,7 +1230,7 @@ func (p *Pipeline) aluResult(e *entry) uint64 {
 
 func (p *Pipeline) executeLoad(e *entry, head bool) {
 	in := e.inst
-	e.memSize = in.Op.MemSize()
+	e.memSize = e.dec.MemSize
 	addr := p.srcVal(e, 0) + uint64(int64(in.Imm))
 	// Wrong-path address streams can be arbitrarily misaligned; force
 	// natural alignment so no access crosses an 8-byte word. Correct-path
@@ -984,7 +1249,7 @@ func (p *Pipeline) executeLoad(e *entry, head bool) {
 		return
 	}
 	e.memVal = out.value
-	e.result = arch.Extend(out.value, e.memSize, in.Op.Signed())
+	e.result = arch.Extend(out.value, e.memSize, e.dec.Signed)
 	e.forwarded = out.forwarded
 	e.violation = out.violation
 	p.schedule(e, out.latency)
@@ -992,7 +1257,7 @@ func (p *Pipeline) executeLoad(e *entry, head bool) {
 
 func (p *Pipeline) executeStore(e *entry, head bool) {
 	in := e.inst
-	e.memSize = in.Op.MemSize()
+	e.memSize = e.dec.MemSize
 	addr := p.srcVal(e, 0) + uint64(int64(in.Imm))
 	e.memAddr = addr &^ (uint64(e.memSize) - 1)
 	e.memVal = p.srcVal(e, 1) & arch.SizeMask(e.memSize)
@@ -1051,14 +1316,14 @@ func (p *Pipeline) dispatch() {
 			p.stats.StallROBFull++
 			return
 		}
-		in := f.inst
-		dest, hasDest := in.Dest()
+		d := f.dec
+		dest, hasDest := d.DestReg, d.HasDest
 		if hasDest && len(p.freePhys) == 0 {
 			p.stats.StallPhysRegs++
 			return
 		}
-		isLoad := in.Op.IsLoad()
-		isStore := in.Op.IsStore()
+		isLoad := d.IsLoad
+		isStore := d.IsStore
 		if isLoad && !p.msys.canDispatchLoad() {
 			p.stats.StallLSQFull++
 			return
@@ -1089,7 +1354,8 @@ func (p *Pipeline) dispatch() {
 		e := p.allocEntry()
 		e.seq = f.seq
 		e.pc = f.pc
-		e.inst = in
+		e.inst = d.Inst
+		e.dec = d
 		e.traceIdx = f.traceIdx
 		e.predNextPC = f.predNextPC
 		e.ghrBefore = f.ghrBefore
@@ -1098,8 +1364,8 @@ func (p *Pipeline) dispatch() {
 		e.oldPhys = noPhys
 		e.isLoad = isLoad
 		e.isStore = isStore
-		e.isCond = in.Op.IsBranch()
-		e.isJump = in.Op.IsJump()
+		e.isCond = d.IsBranch
+		e.isJump = d.IsJump
 		e.consumeTag = dtags.ConsumeTag
 		e.produceTag = dtags.ProduceTag
 		e.consumeHeld = dtags.ConsumeTag != core.NoTag
@@ -1107,12 +1373,18 @@ func (p *Pipeline) dispatch() {
 			p.stats.PredConsumerWaits++
 		}
 
-		// Rename: checkpoint, map sources, allocate destination.
+		// Rename: checkpoint, map sources, allocate destination. A source
+		// whose producer has not written back yet parks the entry on that
+		// register's consumer list for the writeback wakeup.
 		copy(e.ratSnap, p.rat)
-		srcs, nSrc := in.SourceRegs()
-		for s := 0; s < nSrc; s++ {
-			e.srcPhys[e.nSrc] = p.rat[srcs[s]]
+		for s := 0; s < int(d.NSrc); s++ {
+			ph := p.rat[d.SrcRegs[s]]
+			e.srcPhys[e.nSrc] = ph
 			e.nSrc++
+			if !p.physReady[ph] {
+				e.waitCount++
+				p.consumers[ph] = append(p.consumers[ph], waiter{e, e.seq})
+			}
 		}
 		if hasDest {
 			e.hasDest = true
@@ -1123,6 +1395,9 @@ func (p *Pipeline) dispatch() {
 			e.oldPhys = p.rat[dest]
 			p.rat[dest] = np
 			p.physReady[np] = false
+			// Any leftover waiters are from np's previous life (a squashed
+			// producer whose consumers were squashed with it); drop them.
+			p.consumers[np] = p.consumers[np][:0]
 		}
 
 		if isLoad {
@@ -1133,6 +1408,12 @@ func (p *Pipeline) dispatch() {
 		}
 
 		p.rob.pushBack(e)
+		// pushBack assigned the ring slot; now the entry can be armed, or
+		// parked on its dependence tag's waiter list.
+		if (isLoad || isStore) && e.consumeTag != core.NoTag && !p.pred.TagReady(e.consumeTag) {
+			p.tagWaiters[e.consumeTag] = append(p.tagWaiters[e.consumeTag], waiter{e, e.seq})
+		}
+		p.armIfIssuable(e)
 		p.fq.popFront()
 		p.stats.Dispatched++
 	}
@@ -1159,16 +1440,19 @@ func (p *Pipeline) fetch() {
 			p.fetchStallUntil = p.cycle + uint64(lat)
 			return
 		}
-		in, inCode := p.img.InstAt(pc)
-		if !inCode {
+		var dec *isa.DecodedInst
+		if pc >= p.codeBase && pc < p.codeLimit {
+			dec = &p.dec[(pc-p.codeBase)>>2]
+		} else {
 			// Wrong-path fetch wandered outside the code segment; feed
 			// NOPs until recovery redirects fetch.
 			if p.onCorrectPath {
 				p.fail(fmt.Errorf("correct-path fetch at %#x outside code segment", pc))
 				return
 			}
-			in = isa.Inst{Op: isa.OpNop}
+			dec = &wrongPathNop
 		}
+		in := dec.Inst
 
 		seq := p.seqs.Next()
 		ghrBefore := p.bp.History()
@@ -1176,7 +1460,7 @@ func (p *Pipeline) fetch() {
 		isHalt := false
 
 		switch {
-		case in.Op.IsBranch():
+		case dec.IsBranch:
 			dir := p.bp.Predict(pc)
 			p.bp.Lookups++
 			if p.onCorrectPath {
@@ -1230,7 +1514,7 @@ func (p *Pipeline) fetch() {
 		p.fq.pushBack(fqEntry{
 			seq:        seq,
 			pc:         pc,
-			inst:       in,
+			dec:        dec,
 			traceIdx:   traceIdx,
 			predNextPC: predNext,
 			ghrBefore:  ghrBefore,

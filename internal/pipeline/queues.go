@@ -34,9 +34,17 @@ func (q *robQueue) idx(i int) int {
 	return i
 }
 
-func (q *robQueue) len() int          { return q.n }
-func (q *robQueue) at(i int) *entry   { return q.buf[q.idx(i)] }
-func (q *robQueue) pushBack(e *entry) { q.buf[q.idx(q.n)] = e; q.n++ }
+func (q *robQueue) len() int        { return q.n }
+func (q *robQueue) at(i int) *entry { return q.buf[q.idx(i)] }
+
+// pushBack appends e and records its ring slot, which doubles as the entry's
+// bit index in the scheduler's ready bitset.
+func (q *robQueue) pushBack(e *entry) {
+	i := q.idx(q.n)
+	e.slot = int32(i)
+	q.buf[i] = e
+	q.n++
+}
 
 func (q *robQueue) popFront() *entry {
 	e := q.buf[q.head]
