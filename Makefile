@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all vet build test race bench-smoke bench bench-json bench-check ci
+.PHONY: all vet build test race bench-smoke bench bench-json bench-check serve-smoke ci
 
 all: build
 
@@ -43,4 +43,10 @@ bench-json:
 bench-check:
 	$(GO) run ./cmd/sfcbench -insts 20000 -baseline BENCH_PR2.json -tolerance 0.5 bench all
 
-ci: vet build race bench-smoke bench-check
+# End-to-end smoke of the serving stack: sfcserve on an ephemeral port,
+# an sfcload burst that must hit the cache/coalescer for >=50% of requests,
+# and a clean SIGTERM drain.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+ci: vet build race bench-smoke bench-check serve-smoke

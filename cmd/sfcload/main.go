@@ -1,0 +1,270 @@
+// Command sfcload drives a running sfcserve with a closed-loop burst of
+// /v1/run requests sampled round-robin from a small grid, then reports
+// latency percentiles, throughput, and how the server sourced each response
+// (backend run, cache hit, or coalesced onto an in-flight run) — the repo's
+// closed-loop serving benchmark.
+//
+// Usage:
+//
+//	sfcload -addr HOST:PORT [-c 8] [-n 0] [-d 3s] [-insts N]
+//	        [-workloads gzip,mcf] [-configs baseline] [-mems mdtsfc]
+//	        [-preds ...] [-min-hit-rate -1] [-wait-ready 10s]
+//
+// With -n 0 the burst runs for -d; otherwise exactly -n requests are sent.
+// -min-hit-rate R exits nonzero unless (cached+coalesced)/completed >= R,
+// which lets CI assert that coalescing and caching actually serve repeat
+// traffic without backend runs.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sfcmdt/internal/service"
+)
+
+type counters struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	ok        int
+	cached    int
+	coalesced int
+	backend   int
+	rejected  int // 429
+	errors    int
+}
+
+func main() {
+	addr := flag.String("addr", "", "server address (host:port or http://host:port); required")
+	conc := flag.Int("c", 8, "concurrent closed-loop clients")
+	n := flag.Int("n", 0, "total requests (0 = run for -d)")
+	dur := flag.Duration("d", 3*time.Second, "burst duration when -n is 0")
+	insts := flag.Uint64("insts", 0, "per-run instruction budget (0 = server default)")
+	workloads := flag.String("workloads", "gzip,mcf", "comma-separated workload axis")
+	configs := flag.String("configs", "baseline", "comma-separated config axis")
+	mems := flag.String("mems", "mdtsfc", "comma-separated memory-subsystem axis")
+	preds := flag.String("preds", "", "comma-separated predictor axis (empty = per-config default)")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request timeout")
+	waitReady := flag.Duration("wait-ready", 10*time.Second, "poll /healthz this long before the burst")
+	minHitRate := flag.Float64("min-hit-rate", -1, "fail unless (cached+coalesced)/completed >= this (-1 disables)")
+	showStatsz := flag.Bool("statsz", true, "print the server's /statsz after the burst")
+	flag.Parse()
+
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "sfcload: -addr is required")
+		os.Exit(2)
+	}
+	base := *addr
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	if err := waitHealthy(client, base, *waitReady); err != nil {
+		fmt.Fprintf(os.Stderr, "sfcload: %v\n", err)
+		os.Exit(1)
+	}
+
+	grid := buildGrid(*workloads, *configs, *mems, *preds, *insts)
+	if len(grid) == 0 {
+		fmt.Fprintln(os.Stderr, "sfcload: empty request grid")
+		os.Exit(2)
+	}
+	bodies := make([][]byte, len(grid))
+	for i, rq := range grid {
+		b, err := json.Marshal(rq)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sfcload: marshal: %v\n", err)
+			os.Exit(1)
+		}
+		bodies[i] = b
+	}
+
+	var (
+		cts  counters
+		seq  atomic.Int64
+		wg   sync.WaitGroup
+		stop = time.Now().Add(*dur)
+	)
+	start := time.Now()
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := seq.Add(1) - 1
+				if *n > 0 {
+					if int(i) >= *n {
+						return
+					}
+				} else if time.Now().After(stop) {
+					return
+				}
+				doOne(client, base, bodies[int(i)%len(bodies)], &cts)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report(&cts, elapsed)
+	if *showStatsz {
+		printStatsz(client, base)
+	}
+
+	if cts.errors > 0 {
+		fmt.Fprintf(os.Stderr, "sfcload: %d requests failed\n", cts.errors)
+		os.Exit(1)
+	}
+	if *minHitRate >= 0 {
+		rate := hitRate(&cts)
+		if cts.ok == 0 || rate < *minHitRate {
+			fmt.Fprintf(os.Stderr, "sfcload: hit rate %.2f below required %.2f\n", rate, *minHitRate)
+			os.Exit(1)
+		}
+	}
+}
+
+func waitHealthy(client *http.Client, base string, d time.Duration) error {
+	deadline := time.Now().Add(d)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("server not healthy after %s: %v", d, err)
+			}
+			return fmt.Errorf("server not healthy after %s", d)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func buildGrid(workloads, configs, mems, preds string, insts uint64) []service.RunRequest {
+	split := func(s string) []string {
+		var out []string
+		for _, f := range strings.Split(s, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				out = append(out, f)
+			}
+		}
+		if len(out) == 0 {
+			out = []string{""}
+		}
+		return out
+	}
+	var grid []service.RunRequest
+	for _, w := range split(workloads) {
+		if w == "" {
+			continue
+		}
+		for _, c := range split(configs) {
+			for _, m := range split(mems) {
+				for _, p := range split(preds) {
+					grid = append(grid, service.RunRequest{Workload: w, Config: c, Mem: m, Pred: p, Insts: insts})
+				}
+			}
+		}
+	}
+	return grid
+}
+
+func doOne(client *http.Client, base string, body []byte, cts *counters) {
+	t0 := time.Now()
+	resp, err := client.Post(base+"/v1/run", "application/json", bytes.NewReader(body))
+	lat := time.Since(t0)
+	if err != nil {
+		cts.mu.Lock()
+		cts.errors++
+		cts.mu.Unlock()
+		return
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+
+	cts.mu.Lock()
+	defer cts.mu.Unlock()
+	cts.latencies = append(cts.latencies, lat)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var res service.Result
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			cts.errors++
+			return
+		}
+		cts.ok++
+		switch {
+		case res.Cached:
+			cts.cached++
+		case res.Coalesced:
+			cts.coalesced++
+		default:
+			cts.backend++
+		}
+	case http.StatusTooManyRequests:
+		// Backpressure working as designed; counted, not an error.
+		cts.rejected++
+	default:
+		cts.errors++
+	}
+}
+
+func hitRate(cts *counters) float64 {
+	if cts.ok == 0 {
+		return 0
+	}
+	return float64(cts.cached+cts.coalesced) / float64(cts.ok)
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func report(cts *counters, elapsed time.Duration) {
+	sort.Slice(cts.latencies, func(i, j int) bool { return cts.latencies[i] < cts.latencies[j] })
+	total := cts.ok + cts.rejected + cts.errors
+	fmt.Printf("requests    %d in %.2fs (%.1f req/s)\n", total, elapsed.Seconds(), float64(total)/elapsed.Seconds())
+	fmt.Printf("completed   %d  (backend %d, cached %d, coalesced %d)\n", cts.ok, cts.backend, cts.cached, cts.coalesced)
+	fmt.Printf("rejected    %d (429 backpressure)\n", cts.rejected)
+	fmt.Printf("errors      %d\n", cts.errors)
+	fmt.Printf("hit rate    %.1f%% served without a backend run\n", 100*hitRate(cts))
+	fmt.Printf("latency     p50 %s  p90 %s  p99 %s  max %s\n",
+		percentile(cts.latencies, 0.50), percentile(cts.latencies, 0.90),
+		percentile(cts.latencies, 0.99), percentile(cts.latencies, 1.0))
+}
+
+func printStatsz(client *http.Client, base string) {
+	resp, err := client.Get(base + "/statsz")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var snap service.Snapshot
+	if json.NewDecoder(resp.Body).Decode(&snap) != nil {
+		return
+	}
+	fmt.Printf("server      %d requests, %d cache hits, %d coalesced, %d executed, %d rejected, %d canceled, %d retired insts\n",
+		snap.Requests, snap.CacheHits, snap.Coalesced, snap.Executed, snap.Rejected, snap.Canceled, snap.TotalRetired)
+}

@@ -1,0 +1,100 @@
+// Command sfcserve serves the simulator over HTTP: POST /v1/run executes
+// (or serves from cache / coalesces onto) one simulation, POST /v1/sweep
+// streams a figure-style grid as NDJSON, GET /healthz and GET /statsz
+// report liveness and serving counters. SIGINT/SIGTERM drain gracefully:
+// new requests are refused, in-flight runs finish (or are canceled at the
+// drain deadline), then the process exits 0.
+//
+// Usage:
+//
+//	sfcserve [-addr 127.0.0.1:8080] [-addr-file PATH] [-workers N]
+//	         [-queue N] [-cache N] [-default-insts N] [-max-insts N]
+//	         [-drain 15s]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sfcmdt/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file after listening (for scripts using port 0)")
+	workers := flag.Int("workers", 0, "concurrent backend runs (default GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission queue depth beyond workers (default 4x workers)")
+	cache := flag.Int("cache", 1024, "result cache entries")
+	defaultInsts := flag.Uint64("default-insts", 20_000, "instruction budget for requests that name none")
+	maxInsts := flag.Uint64("max-insts", 200_000, "largest per-request instruction budget")
+	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown deadline before in-flight runs are canceled")
+	flag.Parse()
+
+	log.SetPrefix("sfcserve: ")
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+
+	svc := service.New(service.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cache,
+		DefaultInsts: *defaultInsts,
+		MaxInsts:     *maxInsts,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		// Write-then-rename so watchers never read a half-written file.
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(bound+"\n"), 0o644); err != nil {
+			log.Fatalf("addr-file: %v", err)
+		}
+		if err := os.Rename(tmp, *addrFile); err != nil {
+			log.Fatalf("addr-file: %v", err)
+		}
+	}
+	log.Printf("listening on %s", bound)
+
+	srv := &http.Server{Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("signal received; draining (deadline %s)", *drain)
+
+	// Refuse new work first so load balancers see /healthz flip, then wait
+	// for open connections and in-flight runs, then force-cancel stragglers.
+	svc.BeginDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("forcing connection close: %v", err)
+		_ = srv.Close()
+	}
+	if err := svc.Close(shutdownCtx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("drain deadline hit; in-flight runs canceled: %v", err)
+	}
+	st := svc.Stats()
+	log.Printf("drained: %d requests, %d cache hits, %d coalesced, %d executed, %d rejected",
+		st.Requests, st.CacheHits, st.Coalesced, st.Executed, st.Rejected)
+	fmt.Println("sfcserve: clean shutdown")
+}

@@ -5,16 +5,22 @@
 // Usage:
 //
 //	sfcsim [-config baseline|aggressive] [-mem mdtsfc|lsq] [-pred enf|not-enf|total|off]
-//	       [-lq N] [-sq N] [-insts N] [-list] <workload>
+//	       [-lq N] [-sq N] [-insts N] [-json] [-list] <workload>
+//
+// -json emits the run as one service.Result JSON object — the same
+// machine-readable schema sfcserve's /v1/run returns — instead of the text
+// report.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"text/tabwriter"
 
 	"sfcmdt/internal/pipeline"
+	"sfcmdt/internal/service"
 	"sfcmdt/sim"
 )
 
@@ -25,6 +31,7 @@ func main() {
 	lq := flag.Int("lq", 0, "LSQ load-queue entries (lsq only; default per config)")
 	sq := flag.Int("sq", 0, "LSQ store-queue entries")
 	insts := flag.Uint64("insts", 200_000, "correct-path instructions to simulate")
+	jsonOut := flag.Bool("json", false, "emit the run as service.Result JSON (the sfcserve schema)")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
 
@@ -74,6 +81,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sfcsim: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *jsonOut {
+		res := service.NewResult(w.Name, string(w.Class), cfg.Name, *insts, s)
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(os.Stderr, "sfcsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	fmt.Printf("workload   %s (%s)\n", w.Name, w.Class)

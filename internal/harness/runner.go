@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -41,10 +42,17 @@ type material struct {
 type Runner struct {
 	MaxInsts uint64
 	Quiet    bool
+	// Progress, when non-nil, receives a line per completed run. RunAll
+	// fans runs out across worker goroutines, so the callback is invoked
+	// from many goroutines; the runner serializes calls under an internal
+	// mutex, and the callback itself never runs concurrently with another
+	// invocation. The callback must still not call back into the Runner.
 	Progress func(format string, args ...any)
 
 	mu   sync.Mutex
 	mats map[string]*material
+
+	progMu sync.Mutex // serializes Progress invocations
 
 	pipes sync.Pool // stores *pipeline.Pipeline
 
@@ -61,7 +69,9 @@ func NewRunner(maxInsts uint64) *Runner {
 
 func (r *Runner) progress(format string, args ...any) {
 	if r.Progress != nil && !r.Quiet {
+		r.progMu.Lock()
 		r.Progress(format, args...)
+		r.progMu.Unlock()
 	}
 }
 
@@ -97,7 +107,21 @@ func (r *Runner) materialize(w workload.Workload) (*prog.Image, *arch.Trace, err
 
 // Run executes one workload under one configuration.
 func (r *Runner) Run(cfg pipeline.Config, w workload.Workload) Result {
+	return r.RunContext(context.Background(), cfg, w)
+}
+
+// RunContext executes one workload under one configuration, abandoning the
+// run if ctx is canceled. An abandoned run returns a Result whose Err wraps
+// the context error and whose Stats hold the partial counters collected up
+// to the abort; the pipeline still returns to the pool (Reset recycles an
+// interrupted pipeline's in-flight state, so the next run that draws it is
+// bit-identical to a fresh-pipeline run).
+func (r *Runner) RunContext(ctx context.Context, cfg pipeline.Config, w workload.Workload) Result {
 	res := Result{Workload: w.Name, Class: w.Class, Config: cfg.Name}
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
 	img, tr, err := r.materialize(w)
 	if err != nil {
 		res.Err = err
@@ -114,7 +138,7 @@ func (r *Runner) Run(cfg pipeline.Config, w workload.Workload) Result {
 		res.Err = err
 		return res
 	}
-	st, err := p.Run()
+	st, err := p.RunContext(ctx)
 	// Copy the stats out: they live inside the pipeline, which goes back to
 	// the pool and will be zeroed by the next run's Reset.
 	stats := *st
@@ -122,7 +146,9 @@ func (r *Runner) Run(cfg pipeline.Config, w workload.Workload) Result {
 	res.Err = err
 	r.retired.Add(stats.Retired)
 	r.pipes.Put(p)
-	r.progress("done %-12s %-28s IPC=%.3f", w.Name, cfg.Name, stats.IPC())
+	if err == nil {
+		r.progress("done %-12s %-28s IPC=%.3f", w.Name, cfg.Name, stats.IPC())
+	}
 	return res
 }
 
@@ -134,10 +160,20 @@ type Job struct {
 
 // RunAll executes jobs across all CPUs and returns results in job order.
 func (r *Runner) RunAll(jobs []Job) []Result {
+	return r.RunAllContext(context.Background(), jobs)
+}
+
+// RunAllContext executes jobs across all CPUs, returning results in job
+// order. Once ctx is canceled, queued jobs are skipped (their Result.Err is
+// the context error) and in-flight runs are abandoned with partial stats.
+func (r *Runner) RunAllContext(ctx context.Context, jobs []Job) []Result {
 	results := make([]Result, len(jobs))
 	// Materialize traces serially first (cheap, avoids front-loading the
 	// worker fan-out with trace builds).
 	for _, j := range jobs {
+		if ctx.Err() != nil {
+			break
+		}
 		if _, _, err := r.materialize(j.W); err != nil {
 			continue // the per-job Run will surface the error
 		}
@@ -150,7 +186,7 @@ func (r *Runner) RunAll(jobs []Job) []Result {
 		go func(i int, j Job) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			results[i] = r.Run(j.Cfg, j.W)
+			results[i] = r.RunContext(ctx, j.Cfg, j.W)
 		}(i, j)
 	}
 	wg.Wait()

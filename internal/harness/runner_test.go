@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -84,6 +86,98 @@ func TestRunnerPoolsPipelines(t *testing.T) {
 func TestFigure4DoesNotPanic(t *testing.T) {
 	if tab := Figure4(); tab == nil {
 		t.Fatal("Figure4 returned nil table")
+	}
+}
+
+// never is a non-nil Done channel that keeps RunContext off the
+// context.Background fast path.
+var never = make(chan struct{})
+
+// countdownCtx cancels after n Err polls (see the pipeline package's
+// cancellation test for the rationale: deterministic mid-run aborts).
+type countdownCtx struct {
+	context.Context
+	n int
+}
+
+func (c *countdownCtx) Done() <-chan struct{} { return never }
+
+func (c *countdownCtx) Err() error {
+	if c.n <= 0 {
+		return context.Canceled
+	}
+	c.n--
+	return nil
+}
+
+// TestRunContextCancelThenPoolReuse aborts a run mid-flight, then reruns the
+// same job on the same runner — which draws the aborted pipeline back out of
+// the pool — and requires the rerun to match a never-aborted reference.
+func TestRunContextCancelThenPoolReuse(t *testing.T) {
+	w := mustWorkload(t, "gzip")
+	cfg := BaselineConfig(MDTSFCEnf, 20_000)
+
+	ref := NewRunner(20_000).Run(cfg, w)
+	if ref.Err != nil {
+		t.Fatalf("reference run: %v", ref.Err)
+	}
+
+	r := NewRunner(20_000)
+	// n=1: the runner's own admission poll passes, the first in-pipeline
+	// poll (~ctxCheckCycles in) cancels.
+	aborted := r.RunContext(&countdownCtx{Context: context.Background(), n: 1}, cfg, w)
+	if !errors.Is(aborted.Err, context.Canceled) {
+		t.Fatalf("aborted run err = %v, want context.Canceled", aborted.Err)
+	}
+	if aborted.Stats == nil || aborted.Stats.Retired >= ref.Stats.Retired {
+		t.Fatalf("aborted run should carry partial stats short of the full run: %+v", aborted.Stats)
+	}
+	res := r.Run(cfg, w)
+	if res.Err != nil {
+		t.Fatalf("rerun after abort: %v", res.Err)
+	}
+	if *res.Stats != *ref.Stats {
+		t.Fatalf("rerun on pooled aborted pipeline diverged:\n got %+v\nwant %+v", *res.Stats, *ref.Stats)
+	}
+}
+
+// TestRunAllContextCanceledSkipsJobs verifies that a canceled context marks
+// every queued job with the context error instead of running it.
+func TestRunAllContextCanceledSkipsJobs(t *testing.T) {
+	r := NewRunner(2_000)
+	w := mustWorkload(t, "gzip")
+	cfg := BaselineConfig(MDTSFCEnf, 2_000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := r.RunAllContext(ctx, []Job{{Cfg: cfg, W: w}, {Cfg: cfg, W: w}})
+	for i, res := range results {
+		if !errors.Is(res.Err, context.Canceled) {
+			t.Fatalf("job %d err = %v, want context.Canceled", i, res.Err)
+		}
+	}
+}
+
+// TestProgressSerialized pins the satellite fix: the Progress callback is
+// invoked from RunAll's worker goroutines but must never run concurrently
+// with itself. The unsynchronized counter makes the race detector flag any
+// unserialized invocation.
+func TestProgressSerialized(t *testing.T) {
+	r := NewRunner(2_000)
+	calls := 0
+	r.Progress = func(format string, args ...any) { calls++ }
+	w := mustWorkload(t, "gzip")
+	cfg := BaselineConfig(MDTSFCEnf, 2_000)
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = Job{Cfg: cfg, W: w}
+	}
+	for _, res := range r.RunAll(jobs) {
+		if res.Err != nil {
+			t.Fatalf("run: %v", res.Err)
+		}
+	}
+	if calls != len(jobs) {
+		t.Fatalf("Progress called %d times, want %d", calls, len(jobs))
 	}
 }
 

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -450,6 +451,46 @@ func (p *Pipeline) Run() (*metrics.Stats, error) {
 	for !p.done {
 		p.step()
 	}
+	return p.finalize(), p.err
+}
+
+// ctxCheckCycles is how often RunContext polls its context: frequent enough
+// that an abandoned request stops consuming a worker within microseconds of
+// wall time, rare enough that the check never shows up in profiles.
+const ctxCheckCycles = 4096
+
+// RunContext simulates like Run but additionally polls ctx roughly every
+// ctxCheckCycles cycles. On cancellation it abandons the run, returning the
+// partial statistics collected so far together with an error wrapping the
+// context's error. The pipeline is left in a consistent mid-run state:
+// Reset recycles every in-flight entry (ROB residents and pending wheel
+// events), so an aborted pipeline returns to the pool and its next run is
+// bit-identical to one on a freshly constructed pipeline.
+//
+// A context that can never be canceled (ctx.Done() == nil, e.g.
+// context.Background()) takes the plain Run path with zero overhead.
+func (p *Pipeline) RunContext(ctx context.Context) (*metrics.Stats, error) {
+	if ctx.Done() == nil {
+		return p.Run()
+	}
+	check := p.cycle + ctxCheckCycles
+	for !p.done {
+		p.step()
+		if p.cycle >= check {
+			check = p.cycle + ctxCheckCycles
+			if err := ctx.Err(); err != nil {
+				p.done = true
+				return p.finalize(), fmt.Errorf("pipeline: %s: run abandoned at cycle %d (retired %d): %w",
+					p.cfg.Name, p.cycle, p.retired, err)
+			}
+		}
+	}
+	return p.finalize(), p.err
+}
+
+// finalize folds the memory-subsystem and cache-hierarchy counters into the
+// stats record; it is safe to call on a finished or abandoned run.
+func (p *Pipeline) finalize() *metrics.Stats {
 	if mdt, sfc := p.MDTSFC(); mdt != nil {
 		p.stats.SearchEntriesMDT = mdt.EntriesSearched
 		p.stats.SearchEntriesSFC = sfc.EntriesSearched
@@ -468,10 +509,7 @@ func (p *Pipeline) Run() (*metrics.Stats, error) {
 	p.stats.L1IHits, p.stats.L1IMisses = h.L1I.Hits, h.L1I.Misses
 	p.stats.L1DHits, p.stats.L1DMisses = h.L1D.Hits, h.L1D.Misses
 	p.stats.L2Hits, p.stats.L2Misses = h.L2.Hits, h.L2.Misses
-	if p.err != nil {
-		return &p.stats, p.err
-	}
-	return &p.stats, nil
+	return &p.stats
 }
 
 // Step advances the pipeline by one cycle and reports whether it can still

@@ -1,0 +1,51 @@
+package service
+
+import "container/list"
+
+// lruCache is a bounded most-recently-used result cache. It is not
+// self-locking: the Service guards it with its own mutex, since every
+// lookup already happens inside the coalescing critical section.
+type lruCache struct {
+	cap       int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	evictions uint64
+}
+
+type lruEntry struct {
+	key string
+	res *Result
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element, capacity)}
+}
+
+func (c *lruCache) get(key string) (*Result, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).res, true
+}
+
+func (c *lruCache) add(key string, res *Result) {
+	if c.cap <= 0 {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).res = res
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, res: res})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+		c.evictions++
+	}
+}
+
+func (c *lruCache) len() int { return c.ll.Len() }

@@ -1,0 +1,198 @@
+package service
+
+import (
+	"fmt"
+
+	"sfcmdt/internal/core"
+	"sfcmdt/internal/harness"
+	"sfcmdt/internal/pipeline"
+	"sfcmdt/internal/workload"
+)
+
+// RunRequest names one simulation: a workload, a processor configuration,
+// a memory subsystem + predictor variant, and an instruction budget — the
+// same axes the paper's figure sweeps grid over. Zero-valued fields take
+// server-side defaults during normalization.
+type RunRequest struct {
+	Workload string `json:"workload"`
+	// Config is the Figure 4 processor: "baseline" (default) or
+	// "aggressive".
+	Config string `json:"config,omitempty"`
+	// Mem selects the memory subsystem: "mdtsfc" (default), "lsq",
+	// "value-replay", or "mvsfc".
+	Mem string `json:"mem,omitempty"`
+	// Pred selects the dependence-predictor mode: "enf", "not-enf",
+	// "total", or "off"; empty picks the paper's default for the
+	// (config, mem) pair.
+	Pred string `json:"pred,omitempty"`
+	// LQ/SQ size the load/store queues (lsq and value-replay only);
+	// zero picks the paper's sizes for the processor configuration.
+	LQ int `json:"lq,omitempty"`
+	SQ int `json:"sq,omitempty"`
+	// Insts is the correct-path instruction budget; zero picks the
+	// server default, values above the server cap are rejected.
+	Insts uint64 `json:"insts,omitempty"`
+}
+
+// normalize fills defaults in place and validates every field, so that two
+// requests naming the same run — explicitly or via defaults — canonicalize
+// to the same Key.
+func (rq *RunRequest) normalize(defaultInsts, maxInsts uint64) error {
+	if _, ok := workload.Get(rq.Workload); !ok {
+		return fmt.Errorf("%w: unknown workload %q", ErrBadRequest, rq.Workload)
+	}
+	switch rq.Config {
+	case "":
+		rq.Config = "baseline"
+	case "baseline", "aggressive":
+	default:
+		return fmt.Errorf("%w: unknown config %q (want baseline or aggressive)", ErrBadRequest, rq.Config)
+	}
+	switch rq.Mem {
+	case "":
+		rq.Mem = "mdtsfc"
+	case "mdtsfc", "lsq", "value-replay", "mvsfc":
+	default:
+		return fmt.Errorf("%w: unknown memory subsystem %q (want mdtsfc, lsq, value-replay, or mvsfc)", ErrBadRequest, rq.Mem)
+	}
+	if rq.Pred == "" {
+		rq.Pred = defaultPred(rq.Config, rq.Mem)
+	}
+	switch rq.Pred {
+	case "enf", "not-enf", "total", "off":
+	default:
+		return fmt.Errorf("%w: unknown predictor mode %q (want enf, not-enf, total, or off)", ErrBadRequest, rq.Pred)
+	}
+	if rq.LQ < 0 || rq.SQ < 0 {
+		return fmt.Errorf("%w: negative queue size lq=%d sq=%d", ErrBadRequest, rq.LQ, rq.SQ)
+	}
+	if rq.Mem == "lsq" || rq.Mem == "value-replay" {
+		if rq.LQ == 0 || rq.SQ == 0 {
+			// The paper's LSQ sizes for each processor configuration.
+			if rq.Config == "baseline" {
+				rq.LQ, rq.SQ = 48, 32
+			} else {
+				rq.LQ, rq.SQ = 120, 80
+			}
+		}
+	} else {
+		rq.LQ, rq.SQ = 0, 0 // irrelevant for MDT/SFC variants; fold for keying
+	}
+	if rq.Insts == 0 {
+		rq.Insts = defaultInsts
+	}
+	if rq.Insts > maxInsts {
+		return fmt.Errorf("%w: insts %d exceeds server cap %d", ErrBadRequest, rq.Insts, maxInsts)
+	}
+	return nil
+}
+
+// defaultPred returns the paper's predictor choice for a (config, mem) pair:
+// ENF pairwise on the baseline MDT/SFC, total-order on the aggressive
+// MDT/SFC, true-only for the LSQ and multiversion variants (renaming or the
+// CAM removes the need for anti/output enforcement), and off for value
+// replay (no predictor can be trained — the violation's producer is unknown
+// by construction).
+func defaultPred(config, mem string) string {
+	switch mem {
+	case "mdtsfc":
+		if config == "aggressive" {
+			return "total"
+		}
+		return "enf"
+	case "value-replay":
+		return "off"
+	default: // lsq, mvsfc
+		return "not-enf"
+	}
+}
+
+// Key returns the canonical cache/coalescing key of a normalized request.
+// Identical runs — whatever mix of explicit fields and defaults produced
+// them — map to identical keys.
+func (rq RunRequest) Key() string {
+	return fmt.Sprintf("%s|%s|%s|%s|%d|%d|%d", rq.Workload, rq.Config, rq.Mem, rq.Pred, rq.LQ, rq.SQ, rq.Insts)
+}
+
+// predMode maps the wire name to the predictor mode constant.
+func predMode(pred string) core.PredictorMode {
+	switch pred {
+	case "enf":
+		return core.PredPairwise
+	case "total":
+		return core.PredTotalOrder
+	case "off":
+		return core.PredOff
+	default: // "not-enf"
+		return core.PredTrueOnly
+	}
+}
+
+// pipelineConfig builds the processor configuration a normalized request
+// names, reusing the harness's Figure 4 constructors.
+func (rq RunRequest) pipelineConfig() pipeline.Config {
+	var kind pipeline.MemSysKind
+	switch rq.Mem {
+	case "lsq":
+		kind = pipeline.MemLSQ
+	case "value-replay":
+		kind = pipeline.MemValueReplay
+	case "mvsfc":
+		kind = pipeline.MemMVSFC
+	default:
+		kind = pipeline.MemMDTSFC
+	}
+	v := harness.Variant{
+		Label: rq.Mem + "-" + rq.Pred,
+		Kind:  kind,
+		LQ:    rq.LQ,
+		SQ:    rq.SQ,
+		Pred:  predMode(rq.Pred),
+	}
+	if rq.Config == "aggressive" {
+		return harness.AggressiveConfig(v, rq.Insts)
+	}
+	return harness.BaselineConfig(v, rq.Insts)
+}
+
+// SweepRequest names a grid of runs — the cross product of its axes, the
+// service-side equivalent of the paper's figure sweeps. Empty axes default
+// to a single element: every registered workload for Workloads, and the
+// RunRequest defaults for the rest.
+type SweepRequest struct {
+	Workloads []string `json:"workloads,omitempty"` // empty = all registered
+	Configs   []string `json:"configs,omitempty"`   // empty = ["baseline"]
+	Mems      []string `json:"mems,omitempty"`      // empty = ["mdtsfc"]
+	Preds     []string `json:"preds,omitempty"`     // empty = per-(config,mem) default
+	Insts     uint64   `json:"insts,omitempty"`
+	// Stats includes the full per-run counter set on each NDJSON line
+	// (off by default: sweeps are usually after the headline numbers).
+	Stats bool `json:"stats,omitempty"`
+}
+
+// expand returns the grid's run requests in row-major order (workload
+// outermost). The requests are not yet normalized.
+func (sr SweepRequest) expand() []RunRequest {
+	ws := sr.Workloads
+	if len(ws) == 0 {
+		ws = workload.Names()
+	}
+	one := func(xs []string) []string {
+		if len(xs) == 0 {
+			return []string{""}
+		}
+		return xs
+	}
+	configs, mems, preds := one(sr.Configs), one(sr.Mems), one(sr.Preds)
+	out := make([]RunRequest, 0, len(ws)*len(configs)*len(mems)*len(preds))
+	for _, w := range ws {
+		for _, c := range configs {
+			for _, m := range mems {
+				for _, p := range preds {
+					out = append(out, RunRequest{Workload: w, Config: c, Mem: m, Pred: p, Insts: sr.Insts})
+				}
+			}
+		}
+	}
+	return out
+}

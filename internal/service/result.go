@@ -1,0 +1,77 @@
+package service
+
+import (
+	"sfcmdt/internal/harness"
+	"sfcmdt/internal/metrics"
+)
+
+// Result is the machine-readable record of one simulation run — the single
+// JSON schema shared by the service's /v1/run and /v1/sweep responses,
+// sfcsim -json, and sfcload's response decoding. Headline numbers are
+// duplicated out of Stats so lightweight clients need not carry the full
+// counter set.
+type Result struct {
+	Workload string `json:"workload"`
+	Class    string `json:"class,omitempty"` // "int" or "fp"
+	Config   string `json:"config"`          // e.g. "baseline/mdtsfc-enf"
+	Insts    uint64 `json:"insts,omitempty"` // requested instruction budget
+
+	Cycles  uint64  `json:"cycles"`
+	Retired uint64  `json:"retired"`
+	IPC     float64 `json:"ipc"`
+
+	// Stats is the full counter set (omitted on sweep lines unless the
+	// sweep asked for it).
+	Stats *metrics.Stats `json:"stats,omitempty"`
+
+	// Serving metadata: how this response was produced. Cached means it
+	// came from the result cache; Coalesced means the request piggybacked
+	// on an identical in-flight run. Both false means this request paid
+	// for a backend pipeline run of ElapsedMS milliseconds.
+	Cached    bool    `json:"cached,omitempty"`
+	Coalesced bool    `json:"coalesced,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+
+	// Err is set on sweep lines whose run failed or was canceled; the
+	// sweep keeps streaming the rest of the grid.
+	Err string `json:"error,omitempty"`
+}
+
+// NewResult builds the shared result record from a run's inputs and stats.
+// workloadClass may be empty when unknown.
+func NewResult(wname, class, cfgName string, insts uint64, st *metrics.Stats) *Result {
+	r := &Result{Workload: wname, Class: class, Config: cfgName, Insts: insts}
+	if st != nil {
+		r.Cycles = st.Cycles
+		r.Retired = st.Retired
+		r.IPC = st.IPC()
+		r.Stats = st
+	}
+	return r
+}
+
+// resultFromHarness converts a successful harness result for a normalized
+// request.
+func resultFromHarness(rq RunRequest, hr harness.Result) *Result {
+	return NewResult(hr.Workload, string(hr.Class), hr.Config, rq.Insts, hr.Stats)
+}
+
+// withoutStats returns a shallow copy stripped of the full counter set (for
+// compact sweep lines).
+func (r *Result) withoutStats() *Result {
+	c := *r
+	c.Stats = nil
+	return &c
+}
+
+// SweepSummary is the final NDJSON line of a /v1/sweep response. Done
+// distinguishes it from per-run Result lines (which never carry the field).
+type SweepSummary struct {
+	Done      bool    `json:"done"`
+	Runs      int     `json:"runs"`    // grid points attempted
+	OK        int     `json:"ok"`      // runs that returned a result
+	Errors    int     `json:"errors"`  // failed or canceled runs
+	Cached    int     `json:"cached"`  // served from the result cache
+	Coalesced int     `json:"coalesced"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}

@@ -1,0 +1,414 @@
+// Package service puts the simulator behind a concurrent serving front end:
+// an HTTP JSON API whose expensive backend work (a full pipeline run) sits
+// behind request canonicalization, singleflight coalescing of identical
+// in-flight requests, a bounded LRU result cache, and a bounded worker pool
+// with an explicit admission queue. Overload is surfaced as backpressure
+// (429 + Retry-After) instead of unbounded latency; abandoned requests
+// cancel their backend runs via the context plumbed through
+// harness.Runner.RunContext into the pipeline cycle loop; shutdown drains
+// in-flight work gracefully. See DESIGN.md §"Serving".
+package service
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sfcmdt/internal/harness"
+	"sfcmdt/internal/workload"
+)
+
+// Sentinel errors mapped onto HTTP statuses by the handler layer.
+var (
+	// ErrBadRequest marks an unnormalizable request (400).
+	ErrBadRequest = errors.New("bad request")
+	// ErrOverloaded means the admission queue is full (429 + Retry-After).
+	ErrOverloaded = errors.New("overloaded: admission queue full")
+	// ErrDraining means the service is shutting down (503).
+	ErrDraining = errors.New("draining: service is shutting down")
+)
+
+// Backend executes one normalized run request. The default backend runs the
+// simulator through a pooled harness.Runner; tests inject stubs to make
+// coalescing and backpressure deterministic.
+type Backend func(ctx context.Context, rq RunRequest) (*Result, error)
+
+// Config sizes the service.
+type Config struct {
+	// Workers bounds concurrent backend executions (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds requests admitted beyond the executing Workers —
+	// the explicit admission queue. A non-waiting request that arrives
+	// with Workers+QueueDepth requests already admitted is rejected with
+	// ErrOverloaded. Default 4×Workers.
+	QueueDepth int
+	// CacheEntries bounds the LRU result cache (default 1024).
+	CacheEntries int
+	// DefaultInsts is the instruction budget for requests that name none
+	// (default 20000); MaxInsts caps what a request may ask for
+	// (default 200000).
+	DefaultInsts uint64
+	MaxInsts     uint64
+	// MaxSweepPoints bounds a single sweep's grid (default 4096).
+	MaxSweepPoints int
+	// Backend overrides the simulator-backed executor (tests only).
+	Backend Backend
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	} else if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.DefaultInsts == 0 {
+		c.DefaultInsts = 20_000
+	}
+	if c.MaxInsts == 0 {
+		c.MaxInsts = 200_000
+	}
+	if c.MaxSweepPoints == 0 {
+		c.MaxSweepPoints = 4096
+	}
+}
+
+// call is one in-flight backend execution that any number of identical
+// requests wait on. refs counts the waiters still interested; the last one
+// to walk away cancels the run.
+type call struct {
+	done   chan struct{} // closed when res/err are set
+	cancel context.CancelFunc
+	refs   int
+	res    *Result
+	err    error
+}
+
+// Service is the serving front end. Create with New, serve via Handler,
+// stop with BeginDrain + Close.
+type Service struct {
+	cfg     Config
+	backend Backend
+	start   time.Time
+
+	// baseCtx parents every backend run; baseCancel force-aborts them all
+	// (the hard-stop path when a drain deadline expires).
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	// mu guards cache, flight, admitted, and draining. The critical
+	// sections are all short (no I/O, no simulation).
+	mu       sync.Mutex
+	cache    *lruCache
+	flight   map[string]*call
+	admitted int // executing + queued backend calls
+	draining bool
+
+	slots chan struct{} // execution slots; capacity = Workers
+
+	wg sync.WaitGroup // tracks runCall goroutines for drain
+
+	// runners caches one harness.Runner per instruction budget: a
+	// runner's golden-trace cache is keyed by workload name alone, so
+	// budgets must not share one. Each runner pools pipelines across its
+	// runs.
+	runnersMu sync.Mutex
+	runners   map[uint64]*harness.Runner
+
+	// Serving counters (see Snapshot for meanings).
+	nRequests  atomic.Uint64
+	nCacheHits atomic.Uint64
+	nCoalesced atomic.Uint64
+	nExecuted  atomic.Uint64
+	nRejected  atomic.Uint64
+	nCanceled  atomic.Uint64
+	nFailed    atomic.Uint64
+}
+
+// New builds a service; Close must eventually be called to release it.
+func New(cfg Config) *Service {
+	cfg.fillDefaults()
+	s := &Service{
+		cfg:     cfg,
+		start:   time.Now(),
+		cache:   newLRUCache(cfg.CacheEntries),
+		flight:  make(map[string]*call),
+		slots:   make(chan struct{}, cfg.Workers),
+		runners: make(map[uint64]*harness.Runner),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.backend = cfg.Backend
+	if s.backend == nil {
+		s.backend = s.simBackend
+	}
+	return s
+}
+
+// Do serves one run request: normalize to a canonical key, serve repeats
+// from the cache, coalesce onto an identical in-flight run, otherwise
+// execute on the bounded worker pool. wait selects the admission policy for
+// a backend miss: false rejects immediately with ErrOverloaded when the
+// queue is full (interactive /v1/run), true queues without bound (sweep
+// points, whose concurrency the sweep itself bounds).
+//
+// The returned Result is the caller's own shallow copy; Cached/Coalesced
+// describe how this particular call was served.
+func (s *Service) Do(ctx context.Context, rq RunRequest, wait bool) (*Result, error) {
+	if err := rq.normalize(s.cfg.DefaultInsts, s.cfg.MaxInsts); err != nil {
+		return nil, err
+	}
+	s.nRequests.Add(1)
+	key := rq.Key()
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if res, ok := s.cache.get(key); ok {
+		s.mu.Unlock()
+		s.nCacheHits.Add(1)
+		out := *res
+		out.Cached = true
+		return &out, nil
+	}
+	c, joined := s.flight[key]
+	if joined {
+		c.refs++
+		s.nCoalesced.Add(1)
+	} else {
+		runCtx, cancel := context.WithCancel(s.baseCtx)
+		c = &call{done: make(chan struct{}), cancel: cancel, refs: 1}
+		s.flight[key] = c
+		s.wg.Add(1)
+		go s.runCall(runCtx, key, rq, c, wait)
+	}
+	s.mu.Unlock()
+
+	select {
+	case <-c.done:
+		if c.err != nil {
+			return nil, c.err
+		}
+		out := *c.res
+		out.Coalesced = joined
+		return &out, nil
+	case <-ctx.Done():
+		// This waiter is gone; if it was the last one, cancel the run so
+		// the backend stops burning a worker on a result nobody wants.
+		s.mu.Lock()
+		c.refs--
+		last := c.refs == 0
+		s.mu.Unlock()
+		if last {
+			c.cancel()
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// runCall owns one backend execution: admission, run, publish, cache.
+func (s *Service) runCall(ctx context.Context, key string, rq RunRequest, c *call, wait bool) {
+	defer s.wg.Done()
+	defer c.cancel() // release the context once the result is published
+	res, err := s.execute(ctx, rq, wait)
+	s.mu.Lock()
+	delete(s.flight, key)
+	if err == nil {
+		s.cache.add(key, res)
+	}
+	c.res, c.err = res, err
+	close(c.done)
+	s.mu.Unlock()
+}
+
+// execute acquires an admission slot and runs the backend.
+func (s *Service) execute(ctx context.Context, rq RunRequest, wait bool) (*Result, error) {
+	if err := s.acquireSlot(ctx, wait); err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			s.nRejected.Add(1)
+		} else {
+			s.nCanceled.Add(1)
+		}
+		return nil, err
+	}
+	defer s.releaseSlot()
+	if err := ctx.Err(); err != nil { // canceled while queued
+		s.nCanceled.Add(1)
+		return nil, err
+	}
+	t0 := time.Now()
+	res, err := s.backend(ctx, rq)
+	if err != nil {
+		if ctx.Err() != nil {
+			s.nCanceled.Add(1)
+		} else {
+			s.nFailed.Add(1)
+		}
+		return nil, err
+	}
+	res.ElapsedMS = float64(time.Since(t0)) / float64(time.Millisecond)
+	s.nExecuted.Add(1)
+	return res, nil
+}
+
+// acquireSlot admits a backend call. Admission counts executing plus queued
+// calls; a non-waiting call beyond Workers+QueueDepth bounces with
+// ErrOverloaded rather than queuing unboundedly.
+func (s *Service) acquireSlot(ctx context.Context, wait bool) error {
+	s.mu.Lock()
+	if !wait && s.admitted >= s.cfg.Workers+s.cfg.QueueDepth {
+		s.mu.Unlock()
+		return ErrOverloaded
+	}
+	s.admitted++
+	s.mu.Unlock()
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		s.admitted--
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+func (s *Service) releaseSlot() {
+	<-s.slots
+	s.mu.Lock()
+	s.admitted--
+	s.mu.Unlock()
+}
+
+// runnerFor returns the pooled harness runner for an instruction budget.
+func (s *Service) runnerFor(insts uint64) *harness.Runner {
+	s.runnersMu.Lock()
+	defer s.runnersMu.Unlock()
+	r, ok := s.runners[insts]
+	if !ok {
+		r = harness.NewRunner(insts)
+		s.runners[insts] = r
+	}
+	return r
+}
+
+// simBackend is the production backend: one pipeline run through the pooled
+// harness, honoring cancellation via the context plumbed into the cycle
+// loop.
+func (s *Service) simBackend(ctx context.Context, rq RunRequest) (*Result, error) {
+	w, ok := workload.Get(rq.Workload)
+	if !ok {
+		return nil, ErrBadRequest // normalize already checked; defensive
+	}
+	hr := s.runnerFor(rq.Insts).RunContext(ctx, rq.pipelineConfig(), w)
+	if hr.Err != nil {
+		return nil, hr.Err
+	}
+	return resultFromHarness(rq, hr), nil
+}
+
+// BeginDrain flips the service into shutdown mode: /healthz reports
+// draining and every new request is refused with ErrDraining. In-flight
+// work keeps running.
+func (s *Service) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Close drains the service: new requests are refused, and Close blocks
+// until every in-flight backend call has finished. If ctx expires first,
+// outstanding runs are force-canceled (the pipeline abandons them at its
+// next context poll) and Close waits for them to unwind — it never returns
+// with backend goroutines still live.
+func (s *Service) Close(ctx context.Context) error {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.baseCancel()
+		<-done
+	}
+	s.baseCancel()
+	return err
+}
+
+// Snapshot is the /statsz payload.
+type Snapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Draining      bool    `json:"draining"`
+
+	Requests  uint64 `json:"requests"`   // normalized run requests seen
+	CacheHits uint64 `json:"cache_hits"` // served from the LRU
+	Coalesced uint64 `json:"coalesced"`  // piggybacked on an in-flight run
+	Executed  uint64 `json:"executed"`   // backend runs completed
+	Rejected  uint64 `json:"rejected"`   // bounced with 429
+	Canceled  uint64 `json:"canceled"`   // abandoned by their waiters
+	Failed    uint64 `json:"failed"`     // backend errors
+
+	InFlight       int    `json:"in_flight"` // distinct keys executing or queued
+	Admitted       int    `json:"admitted"`  // executing + queued backend calls
+	Workers        int    `json:"workers"`
+	QueueDepth     int    `json:"queue_depth"`
+	CacheEntries   int    `json:"cache_entries"`
+	CacheCapacity  int    `json:"cache_capacity"`
+	CacheEvictions uint64 `json:"cache_evictions"`
+
+	// TotalRetired sums instructions retired across every backend run —
+	// the serving-side analogue of the benchmark harness's simulated-MIPS
+	// numerator.
+	TotalRetired uint64 `json:"total_retired"`
+}
+
+// Stats returns a consistent snapshot of the serving counters.
+func (s *Service) Stats() Snapshot {
+	s.mu.Lock()
+	snap := Snapshot{
+		Draining:       s.draining,
+		InFlight:       len(s.flight),
+		Admitted:       s.admitted,
+		CacheEntries:   s.cache.len(),
+		CacheEvictions: s.cache.evictions,
+	}
+	s.mu.Unlock()
+	snap.UptimeSeconds = time.Since(s.start).Seconds()
+	snap.Workers = s.cfg.Workers
+	snap.QueueDepth = s.cfg.QueueDepth
+	snap.CacheCapacity = s.cfg.CacheEntries
+	snap.Requests = s.nRequests.Load()
+	snap.CacheHits = s.nCacheHits.Load()
+	snap.Coalesced = s.nCoalesced.Load()
+	snap.Executed = s.nExecuted.Load()
+	snap.Rejected = s.nRejected.Load()
+	snap.Canceled = s.nCanceled.Load()
+	snap.Failed = s.nFailed.Load()
+	s.runnersMu.Lock()
+	for _, r := range s.runners {
+		snap.TotalRetired += r.TotalRetired()
+	}
+	s.runnersMu.Unlock()
+	return snap
+}

@@ -1,0 +1,71 @@
+#!/bin/sh
+# End-to-end smoke test for the serving stack: build sfcserve + sfcload,
+# start the server on an ephemeral port, drive a closed-loop burst whose
+# small request grid forces repeat traffic, and assert that
+#   - /healthz comes up,
+#   - coalescing + the result cache serve at least half the requests
+#     without a backend run (sfcload -min-hit-rate 0.5 exits nonzero
+#     otherwise),
+#   - SIGTERM drains cleanly (server exits 0 and prints its shutdown line).
+# Run via `make serve-smoke`; part of `make ci`.
+set -eu
+
+TMP=$(mktemp -d)
+SRV_PID=
+cleanup() {
+    if [ -n "$SRV_PID" ] && kill -0 "$SRV_PID" 2>/dev/null; then
+        kill -KILL "$SRV_PID" 2>/dev/null || true
+    fi
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "serve-smoke: building binaries"
+go build -o "$TMP/sfcserve" ./cmd/sfcserve
+go build -o "$TMP/sfcload" ./cmd/sfcload
+
+# Port 0 picks a free port; the server publishes the bound address via
+# -addr-file (written atomically), which we poll instead of racing a log.
+"$TMP/sfcserve" -addr 127.0.0.1:0 -addr-file "$TMP/addr" \
+    -workers 2 -queue 8 -drain 30s >"$TMP/server.log" 2>&1 &
+SRV_PID=$!
+
+i=0
+while [ ! -s "$TMP/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve-smoke: server never published its address" >&2
+        cat "$TMP/server.log" >&2
+        exit 1
+    fi
+    if ! kill -0 "$SRV_PID" 2>/dev/null; then
+        echo "serve-smoke: server exited during startup" >&2
+        cat "$TMP/server.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR=$(cat "$TMP/addr")
+echo "serve-smoke: server up at $ADDR"
+
+# 40 requests over a 2-workload grid: 2 backend runs suffice, everything
+# else must come from the cache or coalesce onto an in-flight run.
+"$TMP/sfcload" -addr "$ADDR" -c 4 -n 40 -insts 2000 \
+    -workloads gzip,mcf -min-hit-rate 0.5
+
+echo "serve-smoke: sending SIGTERM"
+kill -TERM "$SRV_PID"
+STATUS=0
+wait "$SRV_PID" || STATUS=$?
+SRV_PID=
+if [ "$STATUS" -ne 0 ]; then
+    echo "serve-smoke: server exited $STATUS on SIGTERM" >&2
+    cat "$TMP/server.log" >&2
+    exit 1
+fi
+if ! grep -q "clean shutdown" "$TMP/server.log"; then
+    echo "serve-smoke: server log missing clean-shutdown line" >&2
+    cat "$TMP/server.log" >&2
+    exit 1
+fi
+echo "serve-smoke: PASS (clean drain)"
