@@ -1,18 +1,24 @@
 # Developer/CI entry points. `make ci` is the gate a change must pass:
-# vet + build + race-enabled tests + a single-iteration benchmark smoke run
-# (catches benchmarks that no longer compile or crash without paying for a
-# full measurement) + the measured suite diffed against the committed
-# baseline report (calibration-normalized ns/op, exact alloc and zero-byte
-# guarantees, and a failure on any entry the baseline is missing).
+# vet + gofmt + build + race-enabled tests + a single-iteration benchmark
+# smoke run (catches benchmarks that no longer compile or crash without
+# paying for a full measurement) + a short fuzz run of the word-granular
+# memory paths against their per-byte reference + the measured suite diffed
+# against the committed baseline report (calibration-normalized ns/op, exact
+# alloc and zero-byte guarantees, and a failure on any entry the baseline is
+# missing).
 
 GO ?= go
 
-.PHONY: all vet build test race bench-smoke bench bench-json bench-check serve-smoke ci
+.PHONY: all vet fmt-check build test race bench-smoke fuzz-smoke bench bench-json bench-check serve-smoke ci
 
 all: build
 
 vet:
 	$(GO) vet ./...
+
+# Fail if any file is not gofmt-clean (gofmt -l prints the offenders).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -26,13 +32,18 @@ race:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
 
+# Short fuzz of the Sparse word paths vs the per-byte reference (the seeded
+# corpus always runs; the time budget explores beyond it).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzSparseWordVsByte -fuzztime 10s ./internal/mem
+
 # Full measured run of the Go benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
 # Regenerate the machine-readable benchmark report.
 bench-json:
-	$(GO) run ./cmd/sfcbench -insts 20000 -json BENCH_PR2.json bench all
+	$(GO) run ./cmd/sfcbench -insts 20000 -json BENCH_PR4.json bench all
 
 # Diff a fresh run against the committed report. The tool's default
 # tolerance (10%) suits a quiet, pinned machine; shared runners see
@@ -41,7 +52,7 @@ bench-json:
 # slips, but alloc regressions are always flagged exactly, and losing the
 # event wheel (+700% ns/op) or the entry pool (+2000%) trips it instantly.
 bench-check:
-	$(GO) run ./cmd/sfcbench -insts 20000 -baseline BENCH_PR2.json -tolerance 0.5 bench all
+	$(GO) run ./cmd/sfcbench -insts 20000 -baseline BENCH_PR4.json -tolerance 0.5 bench all
 
 # End-to-end smoke of the serving stack: sfcserve on an ephemeral port,
 # an sfcload burst that must hit the cache/coalescer for >=50% of requests,
@@ -49,4 +60,4 @@ bench-check:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
-ci: vet build race bench-smoke bench-check serve-smoke
+ci: vet fmt-check build race bench-smoke fuzz-smoke bench-check serve-smoke

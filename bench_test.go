@@ -173,7 +173,7 @@ func BenchmarkMDTAccessPair(b *testing.B) {
 // whole queue, which is what motivates the address-indexed replacement.
 func BenchmarkLSQSearch(b *testing.B) {
 	lsq := core.NewLSQ(core.LSQConfig{LoadEntries: 120, StoreEntries: 80})
-	memRead := func(addr uint64) byte { return 0 }
+	memRead := func(addr uint64, size int) uint64 { return 0 }
 	var s uint64
 	for i := 0; i < 80; i++ {
 		s++

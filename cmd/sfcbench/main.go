@@ -8,14 +8,17 @@
 //	sfcbench [-insts N] [-v] [-json FILE] [-baseline FILE] [-tolerance F] bench [name...]
 //
 // The bench subcommand runs the performance suite (event-wheel vs map
-// scheduling, pooled vs unpooled entry churn, SFC/MDT/store-FIFO
-// micro-benchmarks, the wakeup vs linear-scan issue schedulers, the
-// steady-state pipeline cycle, and the Figure 5 macro run) and reports
-// ns/op, B/op, allocs/op, and simulated MIPS per entry. -json writes the
-// rows to a file (the committed BENCH_PR2.json is one such report);
-// -baseline diffs the fresh rows against a committed report and exits
-// nonzero when any entry regresses by more than -tolerance, allocates where
-// the baseline did not, or is missing from the baseline file.
+// scheduling, pooled vs unpooled entry churn, the word-granular memory
+// substrate and its page TLB, SFC/MDT/store-FIFO micro-benchmarks, the
+// wakeup vs linear-scan issue schedulers, the steady-state pipeline cycle,
+// and the Figure 5 macro run) and reports ns/op, B/op, allocs/op, and
+// simulated MIPS per entry. -json writes the rows to a file (the committed
+// BENCH_PR4.json is one such report); -baseline diffs the fresh rows
+// against a committed report and exits nonzero when any entry regresses by
+// more than -tolerance, allocates where the baseline did not, or is missing
+// from the baseline file. Entries that *improved* by more than 40% are
+// printed as SUSPICIOUS (advisory): that usually means the machine changed
+// and the baseline should be regenerated before the gate silently inflates.
 // -cpuprofile/-memprofile write pprof profiles covering the suite run.
 //
 // Experiments:
@@ -110,10 +113,13 @@ func main() {
 			}
 		}
 		if *baseline != "" {
-			regressions, err := compareBaseline(*baseline, *tolerance, results)
+			regressions, suspicious, err := compareBaseline(*baseline, *tolerance, results)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "sfcbench: baseline: %v\n", err)
 				os.Exit(1)
+			}
+			for _, s := range suspicious {
+				fmt.Fprintf(os.Stderr, "SUSPICIOUS: %s\n", s)
 			}
 			for _, r := range regressions {
 				fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", r)

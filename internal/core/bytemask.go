@@ -1,0 +1,42 @@
+package core
+
+// This file holds the byte-lane mask arithmetic shared by the SFC, the
+// multi-version SFC, and the LSQ/value-replay gather paths. All of them
+// operate on 8-byte little-endian words whose per-byte state (valid,
+// corrupt, from-store-queue) is tracked as an 8-bit mask; expanding such a
+// mask to a 64-bit lane mask turns per-byte select/merge loops into
+// branchless word operations.
+
+// byteMask returns the mask of bytes [off, off+size) within an 8-byte word.
+func byteMask(off uint64, size int) uint8 {
+	return uint8((1<<size - 1) << off)
+}
+
+// byteMaskExpand[m] is the 64-bit lane expansion of the per-byte mask m:
+// bit i of m set => bits [8i, 8i+8) set. 2 KB, computed once at init.
+var byteMaskExpand = func() (t [256]uint64) {
+	for m := range t {
+		var w uint64
+		for b := 0; b < 8; b++ {
+			if m&(1<<b) != 0 {
+				w |= 0xFF << (8 * b)
+			}
+		}
+		t[m] = w
+	}
+	return
+}()
+
+// ExpandByteMask returns the 64-bit byte-lane expansion of an 8-bit
+// per-byte mask. Exported for the pipeline memory unit, which merges SFC
+// bytes with cache-hierarchy bytes in one masked word operation.
+func ExpandByteMask(m uint8) uint64 { return byteMaskExpand[m] }
+
+// byteRangeMask returns the byte-lane mask covering bytes [off, off+n) of a
+// word; n == 8 (with off == 0) selects the whole word.
+func byteRangeMask(off, n uint64) uint64 {
+	if n >= 8 {
+		return ^uint64(0)
+	}
+	return (uint64(1)<<(8*n) - 1) << (8 * off)
+}

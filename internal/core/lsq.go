@@ -101,44 +101,40 @@ func (q *LSQ) DispatchStore(seq seqnum.Seq, pc uint64) bool {
 	return true
 }
 
-// MemReader supplies committed memory bytes (retired state) for gather
-// operations.
-type MemReader func(addr uint64) byte
+// MemReader supplies committed memory (retired state) for gather
+// operations: size bytes at addr as a little-endian word, with the same
+// wrap semantics as mem.Sparse.ReadUint.
+type MemReader func(addr uint64, size int) uint64
 
-// gather assembles the value a load of (addr, size) would observe right
-// now: committed memory overlaid, in ascending age, with every executed
-// store older than the load. It also reports whether every byte came from
-// the store queue (full forward) and whether any did (partial).
-func (q *LSQ) gather(loadSeq seqnum.Seq, addr uint64, size int, memRead MemReader) (val uint64, allFromSQ, anyFromSQ bool) {
-	var buf [8]byte
-	var fromSQ [8]bool
-	for i := 0; i < size; i++ {
-		buf[i] = memRead(addr + uint64(i))
-	}
-	// Stores are in program order; overlay oldest to youngest so the
-	// youngest older store wins each byte (age-prioritized forwarding).
-	q.EntriesSearched += uint64(len(q.stores))
-	for si := range q.stores {
-		st := &q.stores[si]
+// gatherStores assembles the value a load of (addr, size) would observe
+// right now: committed memory overlaid, in ascending age, with every
+// executed store older than the load. Stores are in program order, so
+// overlaying oldest to youngest makes the youngest older store win each
+// byte (age-prioritized forwarding). It also reports whether every byte
+// came from the store queue (full forward) and whether any did (partial).
+func gatherStores(stores []sqEntry, loadSeq seqnum.Seq, addr uint64, size int, memRead MemReader) (val uint64, allFromSQ, anyFromSQ bool) {
+	val = memRead(addr, size)
+	var sqMask uint64
+	for si := range stores {
+		st := &stores[si]
 		if !st.executed || !seqnum.Before(st.seq, loadSeq) {
 			continue
 		}
 		lo, hi := maxU64(st.addr, addr), minU64(st.addr+uint64(st.size), addr+uint64(size))
-		for b := lo; b < hi; b++ {
-			buf[b-addr] = byte(st.value >> (8 * (b - st.addr)))
-			fromSQ[b-addr] = true
+		if lo >= hi {
+			continue // no overlap (hi-lo would underflow)
 		}
+		m := byteRangeMask(lo-addr, hi-lo)
+		val = val&^m | ((st.value>>(8*(lo-st.addr)))<<(8*(lo-addr)))&m
+		sqMask |= m
 	}
-	allFromSQ = true
-	for i := 0; i < size; i++ {
-		val |= uint64(buf[i]) << (8 * i)
-		if fromSQ[i] {
-			anyFromSQ = true
-		} else {
-			allFromSQ = false
-		}
-	}
-	return val, allFromSQ, anyFromSQ
+	full := byteRangeMask(0, uint64(size))
+	return val, sqMask == full, sqMask != 0
+}
+
+func (q *LSQ) gather(loadSeq seqnum.Seq, addr uint64, size int, memRead MemReader) (val uint64, allFromSQ, anyFromSQ bool) {
+	q.EntriesSearched += uint64(len(q.stores))
+	return gatherStores(q.stores, loadSeq, addr, size, memRead)
 }
 
 // LoadResult describes an executed load's forwarding outcome, which the

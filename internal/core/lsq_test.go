@@ -9,7 +9,13 @@ import (
 
 // memFromMap adapts a byte map to a MemReader.
 func memFromMap(m map[uint64]byte) MemReader {
-	return func(addr uint64) byte { return m[addr] }
+	return func(addr uint64, size int) uint64 {
+		var v uint64
+		for i := 0; i < size; i++ {
+			v |= uint64(m[addr+uint64(i)]) << (8 * i)
+		}
+		return v
+	}
 }
 
 func TestLSQDispatchCapacity(t *testing.T) {

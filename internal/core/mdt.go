@@ -70,6 +70,13 @@ type MDT struct {
 	granSh  uint
 	setMask uint64
 
+	// lastWay memoizes, per set, the entry index of the most recent tag
+	// hit (way memoization; see the matching field on SFC). A granule tag
+	// lives in at most one way of its set, so a validated memo hit is the
+	// full walk's answer. -1 marks no memo; only the tagged configuration
+	// uses it (the untagged MDT is direct-mapped already).
+	lastWay []int32
+
 	// bound is the sequence number of the oldest in-flight instruction.
 	// Entries whose recorded sequence numbers all precede it belong to
 	// retired or canceled instructions, can no longer witness a violation
@@ -114,12 +121,17 @@ func NewMDT(cfg MDTConfig) *MDT {
 	for 1<<sh < cfg.GranBytes {
 		sh++
 	}
-	return &MDT{
+	m := &MDT{
 		cfg:     cfg,
 		entries: make([]mdtEntry, cfg.Sets*cfg.Ways),
+		lastWay: make([]int32, cfg.Sets),
 		granSh:  sh,
 		setMask: uint64(cfg.Sets - 1),
 	}
+	for i := range m.lastWay {
+		m.lastWay[i] = -1
+	}
+	return m
 }
 
 // Config returns the MDT geometry.
@@ -156,10 +168,10 @@ func (m *MDT) granules(addr uint64, size int) (first, count uint64) {
 // untagged configuration every granule unconditionally shares the entry its
 // set maps to (way 0), so conflicts never occur but aliasing does.
 func (m *MDT) lookup(gran uint64, alloc bool) *mdtEntry {
-	m.EntriesSearched += uint64(m.cfg.Ways)
-	set := gran & m.setMask
-	base := int(set) * m.cfg.Ways
+	set := int(gran & m.setMask)
+	base := set * m.cfg.Ways
 	if !m.cfg.Tagged {
+		m.EntriesSearched += uint64(m.cfg.Ways)
 		e := &m.entries[base]
 		if !e.valid {
 			if !alloc {
@@ -170,33 +182,43 @@ func (m *MDT) lookup(gran uint64, alloc bool) *mdtEntry {
 		}
 		return e
 	}
-	var free, stale *mdtEntry
+	if w := m.lastWay[set]; w >= 0 {
+		if e := &m.entries[w]; e.valid && e.tag == gran {
+			m.EntriesSearched++
+			return e
+		}
+	}
+	m.EntriesSearched += uint64(m.cfg.Ways)
+	free, stale := -1, -1
 	for i := base; i < base+m.cfg.Ways; i++ {
 		e := &m.entries[i]
 		if e.valid && e.tag == gran {
+			m.lastWay[set] = int32(i)
 			return e
 		}
-		if !e.valid && free == nil {
-			free = e
+		if !e.valid && free < 0 {
+			free = i
 		}
-		if e.valid && stale == nil && m.reclaimable(e) {
-			stale = e
+		if e.valid && stale < 0 && m.reclaimable(e) {
+			stale = i
 		}
 	}
 	if !alloc {
 		return nil
 	}
-	if free == nil && stale != nil {
+	if free < 0 && stale >= 0 {
 		m.Reclaimed++
 		free = stale
 		m.Occupied--
 	}
-	if free == nil {
+	if free < 0 {
 		return nil // set conflict
 	}
-	*free = mdtEntry{valid: true, tag: gran}
+	e := &m.entries[free]
+	*e = mdtEntry{valid: true, tag: gran}
+	m.lastWay[set] = int32(free)
 	m.Occupied++
-	return free
+	return e
 }
 
 // AccessLoad performs a load's MDT access (at execution, once the address is
@@ -206,6 +228,35 @@ func (m *MDT) lookup(gran uint64, alloc bool) *mdtEntry {
 func (m *MDT) AccessLoad(seq seqnum.Seq, pc, addr uint64, size int) MDTResult {
 	m.Accesses++
 	first, n := m.granules(addr, size)
+	if n == 1 {
+		// Single-granule fast path (the common case with the paper's
+		// 8-byte granularity and natural alignment): one probe serves
+		// both the violation check and the update, since there is no
+		// multi-granule half-update to guard against.
+		e := m.lookup(first, true)
+		if e == nil {
+			m.Conflicts++
+			return MDTResult{Conflict: true}
+		}
+		if !m.TrueOnly && e.storeValid && seqnum.Before(seq, e.storeSeq) {
+			m.AntiViols++
+			return MDTResult{Violation: &Violation{
+				Kind:         AntiViolation,
+				ProducerPC:   pc,
+				ProducerSeq:  seq,
+				ConsumerPC:   e.storePC,
+				ConsumerSeq:  e.storeSeq,
+				FlushFromSeq: seq,
+			}}
+		}
+		if !e.loadValid || !seqnum.Before(seq, e.loadSeq) {
+			e.loadValid = true
+			e.loadSeq = seq
+			e.loadPC = pc
+		}
+		e.completedLoads++
+		return MDTResult{}
+	}
 	// Pass 1: make sure every granule has an entry (or report a conflict)
 	// and check for violations before mutating, so a violating access does
 	// not half-update the table.
@@ -247,39 +298,29 @@ func (m *MDT) AccessLoad(seq seqnum.Seq, pc, addr uint64, size int) MDTResult {
 func (m *MDT) AccessStore(seq seqnum.Seq, pc, addr uint64, size int) MDTResult {
 	m.Accesses++
 	first, n := m.granules(addr, size)
+	if n == 1 {
+		// Single-granule fast path; see AccessLoad.
+		e := m.lookup(first, true)
+		if e == nil {
+			m.Conflicts++
+			return MDTResult{Conflict: true}
+		}
+		if v := m.storeViolation(e, seq, pc); v != nil {
+			return MDTResult{Violation: v}
+		}
+		e.storeValid = true
+		e.storeSeq = seq
+		e.storePC = pc
+		return MDTResult{}
+	}
 	for g := first; g < first+n; g++ {
 		e := m.lookup(g, true)
 		if e == nil {
 			m.Conflicts++
 			return MDTResult{Conflict: true}
 		}
-		if e.loadValid && seqnum.Before(seq, e.loadSeq) {
-			m.TrueViols++
-			v := &Violation{
-				Kind:         TrueViolation,
-				ProducerPC:   pc,
-				ProducerSeq:  seq,
-				ConsumerPC:   e.loadPC,
-				ConsumerSeq:  e.loadSeq,
-				FlushFromSeq: seq + 1, // conservative: everything after the store
-			}
-			if m.SingleLoadOpt && e.completedLoads == 1 {
-				// §2.4.1: the buffered load is provably the only (hence
-				// earliest) conflicting load; flush from it instead.
-				v.FlushFromSeq = e.loadSeq
-			}
+		if v := m.storeViolation(e, seq, pc); v != nil {
 			return MDTResult{Violation: v}
-		}
-		if !m.TrueOnly && e.storeValid && seqnum.Before(seq, e.storeSeq) {
-			m.OutputViols++
-			return MDTResult{Violation: &Violation{
-				Kind:         OutputViolation,
-				ProducerPC:   pc,
-				ProducerSeq:  seq,
-				ConsumerPC:   e.storePC,
-				ConsumerSeq:  e.storeSeq,
-				FlushFromSeq: seq + 1,
-			}}
 		}
 	}
 	for g := first; g < first+n; g++ {
@@ -289,6 +330,41 @@ func (m *MDT) AccessStore(seq seqnum.Seq, pc, addr uint64, size int) MDTResult {
 		e.storePC = pc
 	}
 	return MDTResult{}
+}
+
+// storeViolation performs a completing store's violation checks against one
+// entry: a true violation against a younger recorded load, then (unless
+// TrueOnly) an output violation against a younger recorded store.
+func (m *MDT) storeViolation(e *mdtEntry, seq seqnum.Seq, pc uint64) *Violation {
+	if e.loadValid && seqnum.Before(seq, e.loadSeq) {
+		m.TrueViols++
+		v := &Violation{
+			Kind:         TrueViolation,
+			ProducerPC:   pc,
+			ProducerSeq:  seq,
+			ConsumerPC:   e.loadPC,
+			ConsumerSeq:  e.loadSeq,
+			FlushFromSeq: seq + 1, // conservative: everything after the store
+		}
+		if m.SingleLoadOpt && e.completedLoads == 1 {
+			// §2.4.1: the buffered load is provably the only (hence
+			// earliest) conflicting load; flush from it instead.
+			v.FlushFromSeq = e.loadSeq
+		}
+		return v
+	}
+	if !m.TrueOnly && e.storeValid && seqnum.Before(seq, e.storeSeq) {
+		m.OutputViols++
+		return &Violation{
+			Kind:         OutputViolation,
+			ProducerPC:   pc,
+			ProducerSeq:  seq,
+			ConsumerPC:   e.storePC,
+			ConsumerSeq:  e.storeSeq,
+			FlushFromSeq: seq + 1,
+		}
+	}
+	return nil
 }
 
 // CheckStoreAtHead performs the read-only MDT check for a store executing
@@ -424,6 +500,9 @@ func (m *MDT) RetireStore(seq seqnum.Seq, addr uint64, size int) bool {
 func (m *MDT) Reset() {
 	for i := range m.entries {
 		m.entries[i] = mdtEntry{}
+	}
+	for i := range m.lastWay {
+		m.lastWay[i] = -1
 	}
 	m.bound = 0
 	m.Accesses = 0

@@ -61,7 +61,7 @@ func (c MVSFCConfig) Validate() error {
 
 type mvVersion struct {
 	seq  seqnum.Seq
-	data [SFCLineBytes]byte
+	data uint64 // little-endian byte lanes, same layout as sfcEntry.data
 	mask uint8
 }
 
@@ -178,10 +178,10 @@ func (s *MVSFC) StoreWrite(seq seqnum.Seq, addr uint64, size int, value uint64) 
 		s.StoreConflicts++
 		return false
 	}
-	for i := 0; i < size; i++ {
-		v.data[off+uint64(i)] = byte(value >> (8 * i))
-	}
-	v.mask |= byteMask(off, size)
+	mask := byteMask(off, size)
+	lanes := byteMaskExpand[mask]
+	v.data = v.data&^lanes | (value<<(8*off))&lanes
+	v.mask |= mask
 	s.StoreWrites++
 	return true
 }
@@ -243,7 +243,7 @@ func (s *MVSFC) LoadRead(seq seqnum.Seq, addr uint64, size int) SFCReadResult {
 				continue // the load's own seq or younger: invisible
 			}
 			if v.mask&bit != 0 {
-				res.Data[b] = v.data[off+uint64(b)]
+				res.Word |= uint64(byte(v.data>>(8*(off+uint64(b))))) << (8 * b)
 				res.ValidMask |= 1 << b
 				break
 			}

@@ -12,11 +12,7 @@ func newTestMVSFC(sets, ways, versions int) *MVSFC {
 }
 
 func mvVal(res SFCReadResult, size int) uint64 {
-	var v uint64
-	for i := 0; i < size; i++ {
-		v |= uint64(res.Data[i]) << (8 * i)
-	}
-	return v
+	return res.Word & byteRangeMask(0, uint64(size))
 }
 
 func TestMVSFCRenaming(t *testing.T) {
@@ -165,8 +161,8 @@ func TestMVSFCVsReference(t *testing.T) {
 				if gotValid != wantValid {
 					t.Fatalf("op %d byte %#x: validity got %v want %v", i, byteAddr, gotValid, wantValid)
 				}
-				if wantValid && res.Data[b] != want {
-					t.Fatalf("op %d byte %#x: got %#x want %#x", i, byteAddr, res.Data[b], want)
+				if wantValid && byte(res.Word>>(8*b)) != want {
+					t.Fatalf("op %d byte %#x: got %#x want %#x", i, byteAddr, byte(res.Word>>(8*b)), want)
 				}
 			}
 		}

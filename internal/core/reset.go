@@ -13,6 +13,9 @@ func (s *SFC) Reset() {
 	for i := range s.entries {
 		s.entries[i] = sfcEntry{}
 	}
+	for i := range s.lastWay {
+		s.lastWay[i] = -1
+	}
 	s.bound = 0
 	s.windows = s.windows[:0]
 	s.StoreWrites = 0

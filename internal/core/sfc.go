@@ -38,9 +38,9 @@ const SFCLineBytes = 8
 
 // sfcEntry holds the cumulative in-flight value of one aligned memory word.
 type sfcEntry struct {
-	valid      bool   // tag valid
-	tag        uint64 // word number (addr >> 3)
-	data       [SFCLineBytes]byte
+	valid      bool       // tag valid
+	tag        uint64     // word number (addr >> 3)
+	data       uint64     // word value, little-endian byte lanes (byte i at bits [8i,8i+8))
 	validMask  uint8      // which bytes hold in-flight store data
 	corrupt    uint8      // which bytes may have been written by canceled stores
 	lastWriter seqnum.Seq // highest sequence number that wrote this entry
@@ -97,6 +97,14 @@ type SFC struct {
 	entries []sfcEntry
 	setMask uint64
 
+	// lastWay memoizes, per set, the entry index of the most recent tag
+	// hit (way memoization, after Ishihara & Fallah): because a word tag
+	// can live in at most one way of its set, a memo hit is the full
+	// walk's answer and costs one compare. -1 marks no memo. The memo is
+	// validated on every use (valid bit + tag), so invalidations and
+	// evictions need no bookkeeping here.
+	lastWay []int32
+
 	// bound is the sequence number of the oldest in-flight instruction.
 	// An entry whose last writer precedes it was written only by retired
 	// stores (whose bytes are committed to the cache hierarchy) or
@@ -116,7 +124,8 @@ type SFC struct {
 	LoadPartial    uint64
 	LoadCorrupt    uint64
 	LoadMiss       uint64
-	// EntriesSearched counts ways examined per address-indexed access.
+	// EntriesSearched counts ways examined per address-indexed access; a
+	// memoized last-way hit examines exactly one.
 	EntriesSearched uint64
 	Corruptions     uint64 // partial-flush corruption events
 	EntriesFreed    uint64
@@ -130,11 +139,16 @@ func NewSFC(cfg SFCConfig) *SFC {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &SFC{
+	s := &SFC{
 		cfg:     cfg,
 		entries: make([]sfcEntry, cfg.Sets*cfg.Ways),
+		lastWay: make([]int32, cfg.Sets),
 		setMask: uint64(cfg.Sets - 1),
 	}
+	for i := range s.lastWay {
+		s.lastWay[i] = -1
+	}
+	return s
 }
 
 // Config returns the SFC geometry.
@@ -149,12 +163,25 @@ func (s *SFC) reclaimable(e *sfcEntry) bool {
 }
 
 func (s *SFC) lookup(word uint64, alloc bool) *sfcEntry {
+	set := int(word & s.setMask)
+	if w := s.lastWay[set]; w >= 0 {
+		e := &s.entries[w]
+		if e.valid && e.tag == word {
+			s.EntriesSearched++
+			if alloc && s.reclaimable(e) {
+				s.Reclaimed++
+				*e = sfcEntry{valid: true, tag: word}
+			}
+			return e
+		}
+	}
 	s.EntriesSearched += uint64(s.cfg.Ways)
-	base := int(word&s.setMask) * s.cfg.Ways
-	var free, stale *sfcEntry
+	base := set * s.cfg.Ways
+	free, stale := -1, -1
 	for i := base; i < base+s.cfg.Ways; i++ {
 		e := &s.entries[i]
 		if e.valid && e.tag == word {
+			s.lastWay[set] = int32(i)
 			// A fossil entry (last writer retired or canceled) must not
 			// supply data to loads; reclaim it in place on any access.
 			if alloc && s.reclaimable(e) {
@@ -163,27 +190,29 @@ func (s *SFC) lookup(word uint64, alloc bool) *sfcEntry {
 			}
 			return e
 		}
-		if !e.valid && free == nil {
-			free = e
+		if !e.valid && free < 0 {
+			free = i
 		}
-		if e.valid && stale == nil && s.reclaimable(e) {
-			stale = e
+		if e.valid && stale < 0 && s.reclaimable(e) {
+			stale = i
 		}
 	}
 	if !alloc {
 		return nil
 	}
-	if free == nil && stale != nil {
+	if free < 0 && stale >= 0 {
 		s.Reclaimed++
 		free = stale
 		s.Occupied--
 	}
-	if free == nil {
+	if free < 0 {
 		return nil
 	}
-	*free = sfcEntry{valid: true, tag: word}
+	e := &s.entries[free]
+	*e = sfcEntry{valid: true, tag: word}
+	s.lastWay[set] = int32(free)
 	s.Occupied++
-	return free
+	return e
 }
 
 // CanWrite reports whether a store to addr could write the SFC right now
@@ -191,7 +220,13 @@ func (s *SFC) lookup(word uint64, alloc bool) *sfcEntry {
 // MDT access so a conflicting store is dropped without touching the MDT.
 func (s *SFC) CanWrite(addr uint64) bool {
 	word := addr >> 3
-	base := int(word&s.setMask) * s.cfg.Ways
+	set := int(word & s.setMask)
+	if w := s.lastWay[set]; w >= 0 {
+		if e := &s.entries[w]; e.valid && e.tag == word {
+			return true
+		}
+	}
+	base := set * s.cfg.Ways
 	for i := base; i < base+s.cfg.Ways; i++ {
 		e := &s.entries[i]
 		if !e.valid || e.tag == word || s.reclaimable(e) {
@@ -213,13 +248,14 @@ func (s *SFC) StoreWrite(seq seqnum.Seq, addr uint64, size int, value uint64) bo
 		s.StoreConflicts++
 		return false
 	}
-	for i := 0; i < size; i++ {
-		e.data[off+uint64(i)] = byte(value >> (8 * i))
-		if s.cfg.FlushEndpoints > 0 {
+	mask := byteMask(off, size)
+	lanes := byteMaskExpand[mask]
+	e.data = e.data&^lanes | (value<<(8*off))&lanes
+	if s.cfg.FlushEndpoints > 0 {
+		for i := 0; i < size; i++ {
 			e.byteWriter[off+uint64(i)] = seq
 		}
 	}
-	mask := byteMask(off, size)
 	e.validMask |= mask
 	e.corrupt &^= mask
 	if seqnum.After(seq, e.lastWriter) || e.lastWriter == seqnum.None {
@@ -232,11 +268,13 @@ func (s *SFC) StoreWrite(seq seqnum.Seq, addr uint64, size int, value uint64) bo
 // SFCReadResult is a load's view of an SFC entry.
 type SFCReadResult struct {
 	Status SFCReadStatus
-	// Data and ValidMask describe the requested bytes (index 0 = lowest
-	// address requested). For SFCFull all requested bytes are present; for
-	// SFCPartial only those with a set ValidMask bit are.
-	Data      [SFCLineBytes]byte
-	ValidMask uint8 // bit i set => Data[i] is in-flight store data
+	// Word and ValidMask describe the requested bytes: byte i of the
+	// request (i = 0 at the lowest requested address) occupies bits
+	// [8i, 8i+8) of Word. For SFCFull all requested bytes are present; for
+	// SFCPartial only those with a set ValidMask bit are, and bytes
+	// without one are zero in Word.
+	Word      uint64
+	ValidMask uint8 // bit i set => byte i of Word is in-flight store data
 }
 
 // LoadRead performs a load's address-indexed lookup.
@@ -274,12 +312,10 @@ func (s *SFC) LoadRead(addr uint64, size int) SFCReadResult {
 			}
 		}
 	}
-	var res SFCReadResult
-	for i := 0; i < size; i++ {
-		if e.validMask&(1<<(off+uint64(i))) != 0 {
-			res.Data[i] = e.data[off+uint64(i)]
-			res.ValidMask |= 1 << i
-		}
+	vm := (e.validMask & want) >> off
+	res := SFCReadResult{
+		Word:      (e.data >> (8 * off)) & byteMaskExpand[vm],
+		ValidMask: vm,
 	}
 	if e.validMask&want == want {
 		res.Status = SFCFull
@@ -356,6 +392,9 @@ func (s *SFC) Flush() {
 	for i := range s.entries {
 		s.entries[i] = sfcEntry{}
 	}
+	for i := range s.lastWay {
+		s.lastWay[i] = -1
+	}
 	s.windows = s.windows[:0]
 	s.Occupied = 0
 }
@@ -374,9 +413,4 @@ func (s *SFC) RetireStore(seq seqnum.Seq, addr uint64) bool {
 	s.Occupied--
 	s.EntriesFreed++
 	return true
-}
-
-// byteMask returns the mask of bytes [off, off+size) within an 8-byte word.
-func byteMask(off uint64, size int) uint8 {
-	return uint8((1<<size - 1) << off)
 }

@@ -31,12 +31,8 @@ func TestSFCStoreThenLoad(t *testing.T) {
 	if res.Status != SFCFull {
 		t.Fatalf("status %v", res.Status)
 	}
-	var v uint64
-	for i := 0; i < 8; i++ {
-		v |= uint64(res.Data[i]) << (8 * i)
-	}
-	if v != 0x1122334455667788 {
-		t.Fatalf("value %#x", v)
+	if res.Word != 0x1122334455667788 {
+		t.Fatalf("value %#x", res.Word)
 	}
 }
 
@@ -44,7 +40,7 @@ func TestSFCSubwordMerge(t *testing.T) {
 	s := newTestSFC(16, 2)
 	s.StoreWrite(1, 0x104, 2, 0xBEEF) // bytes 4-5 of the word
 	res := s.LoadRead(0x104, 2)
-	if res.Status != SFCFull || res.Data[0] != 0xEF || res.Data[1] != 0xBE {
+	if res.Status != SFCFull || res.Word != 0xBEEF {
 		t.Fatalf("subword full match failed: %+v", res)
 	}
 	// A wider load sees a partial match.
@@ -220,8 +216,8 @@ func TestSFCVsReference(t *testing.T) {
 				if gotValid != inRef {
 					t.Fatalf("byte %#x validity: sfc=%v ref=%v", addr+uint64(b), gotValid, inRef)
 				}
-				if inRef && res.Data[b] != refByte {
-					t.Fatalf("byte %#x: sfc=%#x ref=%#x", addr+uint64(b), res.Data[b], refByte)
+				if inRef && byte(res.Word>>(8*b)) != refByte {
+					t.Fatalf("byte %#x: sfc=%#x ref=%#x", addr+uint64(b), byte(res.Word>>(8*b)), refByte)
 				}
 			}
 		case 2: // retire the oldest store

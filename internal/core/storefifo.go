@@ -67,11 +67,26 @@ func (f *StoreFIFO) Dispatch(seq seqnum.Seq) bool {
 	return true
 }
 
+// search returns the lowest logical position whose entry's sequence number
+// is >= seq (f.n when none is). Dispatch order keeps the ring sorted by
+// sequence number, so this is a binary search over logical positions.
+func (f *StoreFIFO) search(seq seqnum.Seq) int {
+	lo, hi := 0, f.n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if seqnum.Before(f.buf[f.idx(mid)].seq, seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // Execute records a store's address and data. The entry must exist.
 func (f *StoreFIFO) Execute(seq seqnum.Seq, addr uint64, size int, value uint64) {
-	for i := 0; i < f.n; i++ {
-		e := &f.buf[f.idx(i)]
-		if e.seq == seq {
+	if i := f.search(seq); i < f.n {
+		if e := &f.buf[f.idx(i)]; e.seq == seq {
 			e.ready = true
 			e.addr = addr
 			e.size = size
@@ -121,11 +136,8 @@ func (f *StoreFIFO) FirstUnexecuted() (seqnum.Seq, bool) {
 // SquashFrom removes all entries with sequence number >= from (a suffix,
 // since dispatch order is program order).
 func (f *StoreFIFO) SquashFrom(from seqnum.Seq) {
-	for i := 0; i < f.n; i++ {
-		if !seqnum.Before(f.buf[f.idx(i)].seq, from) {
-			f.n = i
-			return
-		}
+	if i := f.search(from); i < f.n {
+		f.n = i
 	}
 }
 

@@ -89,35 +89,10 @@ func (q *ValueReplay) ExecuteLoad(seq seqnum.Seq, addr uint64, size int, memRead
 	return LoadResult{Value: val, Forwarded: all, Partial: any && !all}, nil
 }
 
-// gather mirrors LSQ.gather (shared entry layout).
+// gather mirrors LSQ.gather (shared entry layout and overlay helper).
 func (q *ValueReplay) gather(loadSeq seqnum.Seq, addr uint64, size int, memRead MemReader) (val uint64, allFromSQ, anyFromSQ bool) {
-	var buf [8]byte
-	var fromSQ [8]bool
-	for i := 0; i < size; i++ {
-		buf[i] = memRead(addr + uint64(i))
-	}
 	q.EntriesSearched += uint64(len(q.stores))
-	for si := range q.stores {
-		st := &q.stores[si]
-		if !st.executed || !seqnum.Before(st.seq, loadSeq) {
-			continue
-		}
-		lo, hi := maxU64(st.addr, addr), minU64(st.addr+uint64(st.size), addr+uint64(size))
-		for b := lo; b < hi; b++ {
-			buf[b-addr] = byte(st.value >> (8 * (b - st.addr)))
-			fromSQ[b-addr] = true
-		}
-	}
-	allFromSQ = true
-	for i := 0; i < size; i++ {
-		val |= uint64(buf[i]) << (8 * i)
-		if fromSQ[i] {
-			anyFromSQ = true
-		} else {
-			allFromSQ = false
-		}
-	}
-	return val, allFromSQ, anyFromSQ
+	return gatherStores(q.stores, loadSeq, addr, size, memRead)
 }
 
 // ExecuteStore records the store; no load-queue search exists to perform.
@@ -146,10 +121,7 @@ func (q *ValueReplay) RetireLoad(seq seqnum.Seq, memRead MemReader) (*Violation,
 	// allocating append every capacity retirements.
 	q.loads = q.loads[:copy(q.loads, q.loads[1:])]
 	q.ReplayedLoads++
-	var now uint64
-	for b := 0; b < ld.size; b++ {
-		now |= uint64(memRead(ld.addr+uint64(b))) << (8 * b)
-	}
+	now := memRead(ld.addr, ld.size)
 	if now == ld.value {
 		return nil, nil
 	}

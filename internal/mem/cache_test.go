@@ -1,0 +1,96 @@
+package mem
+
+import "testing"
+
+// Aliasing: addresses one set-stride apart land in the same set with
+// distinct tags. They must coexist up to the associativity, then evict LRU,
+// without disturbing neighboring sets.
+func TestCacheAliasingSameSet(t *testing.T) {
+	// 4 sets, 2 ways, 64 B lines; set stride = sets*line = 256 B.
+	c := NewCache(CacheConfig{SizeBytes: 512, Ways: 2, LineBytes: 64})
+	const stride = 4 * 64
+	a, b, d := uint64(0), uint64(stride), uint64(2*stride) // all set 0
+	other := uint64(64)                                    // set 1
+	c.Access(a)
+	c.Access(b)
+	if !c.Probe(a) || !c.Probe(b) {
+		t.Fatal("two aliasing lines must coexist in a 2-way set")
+	}
+	c.Access(other)
+	c.Access(d) // third tag in set 0: evicts a (LRU)
+	if c.Probe(a) {
+		t.Error("LRU aliasing line must be evicted")
+	}
+	if !c.Probe(b) || !c.Probe(d) {
+		t.Error("younger aliasing lines must survive")
+	}
+	if !c.Probe(other) {
+		t.Error("eviction in one set must not disturb another")
+	}
+	if c.Hits != 0 || c.Misses != 4 {
+		t.Errorf("hits/misses = %d/%d, want 0/4", c.Hits, c.Misses)
+	}
+	// The evicted line misses again; its refill evicts the then-LRU (b).
+	if c.Access(a) {
+		t.Error("evicted line must miss")
+	}
+	if c.Probe(b) {
+		t.Error("refill must evict the LRU way")
+	}
+}
+
+// Latency accounting across the L1D/L2 boundary: lines evicted from the
+// L1D by aliasing fills remain L2-resident and cost exactly the L1-miss
+// penalty; lines evicted from the L2 as well pay the full path again.
+func TestHierarchyL1DL2Boundary(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	cfg := h.Config()
+	l1Hit := cfg.L1HitCycles
+	l2Hit := cfg.L1HitCycles + cfg.L1MissCycles
+	cold := cfg.L1HitCycles + cfg.L1MissCycles + cfg.L2MissCycles
+
+	// L1D set stride: sets*line = size/ways (2 KB for the Figure 4 L1D).
+	stride := uint64(cfg.L1D.SizeBytes / cfg.L1D.Ways)
+	ways := cfg.L1D.Ways
+	line := func(i int) uint64 { return uint64(i) * stride }
+
+	for i := 0; i < ways; i++ {
+		if got := h.DataLatency(line(i)); got != cold {
+			t.Fatalf("cold fill %d: latency %d, want %d", i, got, cold)
+		}
+	}
+	for i := 0; i < ways; i++ {
+		if got := h.DataLatency(line(i)); got != l1Hit {
+			t.Fatalf("resident line %d: latency %d, want %d", i, got, l1Hit)
+		}
+	}
+	// One more aliasing line overflows the set and evicts line(0), the LRU.
+	if got := h.DataLatency(line(ways)); got != cold {
+		t.Fatalf("overflow fill: latency %d, want %d", got, cold)
+	}
+	// The victim is gone from the L1D but still L2-resident.
+	if got := h.DataLatency(line(0)); got != l2Hit {
+		t.Fatalf("L1D victim: latency %d, want %d (L2 hit)", got, l2Hit)
+	}
+	// Its refill evicted the next LRU, which also comes back at L2-hit cost.
+	if got := h.DataLatency(line(1)); got != l2Hit {
+		t.Fatalf("second victim: latency %d, want %d (L2 hit)", got, l2Hit)
+	}
+
+	// Now exhaust an L2 set: L2 set stride = size/ways (64 KB for Figure 4).
+	// These addresses alias in the L1D too, so the earliest line ends up in
+	// neither level and pays the full path on return.
+	h.Reset()
+	l2Stride := uint64(cfg.L2.SizeBytes / cfg.L2.Ways)
+	for i := 0; i <= cfg.L2.Ways; i++ {
+		if got := h.DataLatency(uint64(i) * l2Stride); got != cold {
+			t.Fatalf("L2 fill %d: latency %d, want %d", i, got, cold)
+		}
+	}
+	if got := h.DataLatency(0); got != cold {
+		t.Fatalf("L2 victim: latency %d, want %d (evicted from both levels)", got, cold)
+	}
+	if h.L1D.Hits != 0 {
+		t.Errorf("aliasing L2 sweep recorded %d L1D hits", h.L1D.Hits)
+	}
+}

@@ -47,6 +47,87 @@ func TestSparsePageBoundary(t *testing.T) {
 	}
 }
 
+// A multi-byte access at the top of the address space wraps explicitly,
+// modulo 2^64 (see the package comment): byte i lives at addr+i mod 2^64.
+func TestSparseWrapAtTop(t *testing.T) {
+	m := NewSparse()
+	top := ^uint64(0) // last byte of the address space
+	m.Write(top, 2, 0xBEEF)
+	if got := m.ByteAt(top); got != 0xEF {
+		t.Errorf("byte at top: %#x", got)
+	}
+	if got := m.ByteAt(0); got != 0xBE {
+		t.Errorf("byte at 0 after wrap: %#x", got)
+	}
+	if got := m.Read(top, 2); got != 0xBEEF {
+		t.Errorf("wrapping read: %#x", got)
+	}
+	// An 8-byte access starting near the top wraps the same way.
+	m.Write(top-2, 8, 0x0807060504030201)
+	if got := m.Read(top-2, 8); got != 0x0807060504030201 {
+		t.Errorf("wrapping word read: %#x", got)
+	}
+	if got := m.ByteAt(4); got != 0x08 {
+		t.Errorf("wrapped high byte: %#x", got)
+	}
+}
+
+// Reset unmaps every page; the TLB must not resurrect stale page pointers
+// afterwards, and reads through it must not allocate pages.
+func TestSparseResetInvalidatesTLB(t *testing.T) {
+	m := NewSparse()
+	m.WriteWord64(0x1000, 0x1122334455667788)
+	if got := m.ReadWord64(0x1000); got != 0x1122334455667788 { // TLB now warm
+		t.Fatalf("read before reset: %#x", got)
+	}
+	m.Reset()
+	if got := m.ReadWord64(0x1000); got != 0 {
+		t.Fatalf("read after reset served stale TLB data: %#x", got)
+	}
+	if m.Pages() != 0 {
+		t.Fatalf("read after reset mapped %d pages", m.Pages())
+	}
+	m.WriteWord64(0x1000, 7)
+	if got := m.ReadWord64(0x1000); got != 7 {
+		t.Fatalf("write after reset: %#x", got)
+	}
+}
+
+// Two pages whose page numbers collide in the direct-mapped TLB must not
+// shadow one another.
+func TestSparseTLBAliasing(t *testing.T) {
+	m := NewSparse()
+	a := uint64(0)
+	b := a + tlbSize*pageSize // same TLB slot, different page
+	m.WriteWord64(a, 1)
+	m.WriteWord64(b, 2)
+	for i := 0; i < 4; i++ {
+		if got := m.ReadWord64(a); got != 1 {
+			t.Fatalf("iter %d: page a: %#x", i, got)
+		}
+		if got := m.ReadWord64(b); got != 2 {
+			t.Fatalf("iter %d: page b: %#x", i, got)
+		}
+	}
+}
+
+// A clone must not share TLB state with the original: writes to one image
+// stay invisible to the other even for pages hot in the source's TLB.
+func TestSparseCloneTLBIndependent(t *testing.T) {
+	m := NewSparse()
+	m.WriteWord64(0x2000, 42)
+	m.ReadWord64(0x2000) // warm the TLB
+	c := m.Clone()
+	m.WriteWord64(0x2000, 43)
+	if got := c.ReadWord64(0x2000); got != 42 {
+		t.Fatalf("clone sees original's write: %d", got)
+	}
+	c.WriteWord64(0x2000, 44)
+	if got := m.ReadWord64(0x2000); got != 43 {
+		t.Fatalf("original sees clone's write: %d", got)
+	}
+}
+
 func TestSparseBytesAndClone(t *testing.T) {
 	m := NewSparse()
 	src := []byte{1, 2, 3, 4, 5}

@@ -2,15 +2,50 @@
 // cycle-level simulators: a sparse byte-addressable main memory and a
 // tag-only cache hierarchy timing model (L1 I, L1 D, unified L2) with the
 // paper's Figure 4 geometry and miss latencies.
+//
+// # Address-space wrap
+//
+// Sparse models the full 64-bit address space. A multi-byte access whose
+// byte range extends past the top of the address space wraps explicitly:
+// byte i of the access lives at address addr+i mod 2^64, so a ReadUint at
+// ^uint64(0) with size 2 reads the last byte of the address space followed
+// by the byte at address 0. Wrapping accesses take the per-byte slow path;
+// they cannot be produced by the simulated ISA (which requires natural
+// alignment) but the substrate defines them so no caller can hit silent
+// undefined behavior.
 package mem
+
+import "encoding/binary"
 
 const pageShift = 12
 const pageSize = 1 << pageShift
+const pageMask = pageSize - 1
+
+// tlbSize is the number of direct-mapped slots in the page-pointer TLB.
+// The working set of the simulated workloads is a handful of pages (data
+// segment, stack, a few streamed arrays), so a small power-of-two table
+// makes the steady-state page resolution a single compare instead of a map
+// probe.
+const tlbSize = 64
+
+// tlbEntry memoizes one page-number → page-pointer mapping. A nil page
+// marks the slot empty (unmapped pages are never cached, so a non-nil page
+// with a matching page number is always current).
+type tlbEntry struct {
+	pn   uint64
+	page *[pageSize]byte
+}
 
 // Sparse is a sparse 64-bit byte-addressable memory. Unmapped bytes read as
 // zero. It is not safe for concurrent use.
+//
+// Page lookups go through a small direct-mapped TLB of page pointers in
+// front of the page map, so steady-state accesses that stay within the
+// recently-touched pages perform zero map probes. The TLB is invalidated by
+// Reset (the only operation that unmaps pages).
 type Sparse struct {
 	pages map[uint64]*[pageSize]byte
+	tlb   [tlbSize]tlbEntry
 }
 
 // NewSparse returns an empty memory.
@@ -18,14 +53,29 @@ func NewSparse() *Sparse {
 	return &Sparse{pages: make(map[uint64]*[pageSize]byte)}
 }
 
-func (m *Sparse) page(addr uint64, create bool) *[pageSize]byte {
-	pn := addr >> pageShift
+// pageFor resolves the page containing page number pn, consulting the TLB
+// first. When create is set, an unmapped page is allocated; otherwise nil is
+// returned for unmapped pages (and the TLB is left untouched, since only
+// mapped pages are cached).
+func (m *Sparse) pageFor(pn uint64, create bool) *[pageSize]byte {
+	t := &m.tlb[pn&(tlbSize-1)]
+	if t.page != nil && t.pn == pn {
+		return t.page
+	}
 	p := m.pages[pn]
-	if p == nil && create {
+	if p == nil {
+		if !create {
+			return nil
+		}
 		p = new([pageSize]byte)
 		m.pages[pn] = p
 	}
+	t.pn, t.page = pn, p
 	return p
+}
+
+func (m *Sparse) page(addr uint64, create bool) *[pageSize]byte {
+	return m.pageFor(addr>>pageShift, create)
 }
 
 // ByteAt returns the byte at addr.
@@ -34,17 +84,99 @@ func (m *Sparse) ByteAt(addr uint64) byte {
 	if p == nil {
 		return 0
 	}
-	return p[addr&(pageSize-1)]
+	return p[addr&pageMask]
 }
 
 // SetByte stores one byte at addr.
 func (m *Sparse) SetByte(addr uint64, v byte) {
-	m.page(addr, true)[addr&(pageSize-1)] = v
+	m.page(addr, true)[addr&pageMask] = v
 }
 
-// Read returns size bytes at addr as a little-endian unsigned integer.
-// size must be 1, 2, 4, or 8 and the access must not wrap the address space.
-func (m *Sparse) Read(addr uint64, size int) uint64 {
+// ReadWord64 returns the 8 bytes at addr as a little-endian uint64. addr
+// need not be aligned; an access that stays within one page (always true
+// for 8-byte-aligned addresses) resolves the page once and decodes with a
+// single 64-bit load.
+func (m *Sparse) ReadWord64(addr uint64) uint64 {
+	off := addr & pageMask
+	if off <= pageSize-8 {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint64(p[off:])
+	}
+	return m.readSlow(addr, 8)
+}
+
+// WriteWord64 stores v at addr, little-endian, resolving the page once for
+// the in-page (e.g. aligned) case.
+func (m *Sparse) WriteWord64(addr uint64, v uint64) {
+	off := addr & pageMask
+	if off <= pageSize-8 {
+		binary.LittleEndian.PutUint64(m.page(addr, true)[off:], v)
+		return
+	}
+	m.writeSlow(addr, 8, v)
+}
+
+// ReadUint returns size bytes at addr as a little-endian unsigned integer.
+// size must be in [1, 8]. The access may wrap the top of the address space
+// (see the package comment); in-page accesses resolve the page pointer once.
+func (m *Sparse) ReadUint(addr uint64, size int) uint64 {
+	off := addr & pageMask
+	if off+uint64(size) <= pageSize {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		switch size {
+		case 8:
+			return binary.LittleEndian.Uint64(p[off:])
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p[off:]))
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(p[off:]))
+		case 1:
+			return uint64(p[off])
+		}
+		var v uint64
+		for i := 0; i < size; i++ {
+			v |= uint64(p[off+uint64(i)]) << (8 * i)
+		}
+		return v
+	}
+	return m.readSlow(addr, size)
+}
+
+// WriteUint stores the low size bytes of v at addr, little-endian. size
+// must be in [1, 8]; the access may wrap the top of the address space.
+func (m *Sparse) WriteUint(addr uint64, size int, v uint64) {
+	off := addr & pageMask
+	if off+uint64(size) <= pageSize {
+		p := m.page(addr, true)
+		switch size {
+		case 8:
+			binary.LittleEndian.PutUint64(p[off:], v)
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:], uint32(v))
+		case 2:
+			binary.LittleEndian.PutUint16(p[off:], uint16(v))
+		case 1:
+			p[off] = byte(v)
+		default:
+			for i := 0; i < size; i++ {
+				p[off+uint64(i)] = byte(v >> (8 * i))
+			}
+		}
+		return
+	}
+	m.writeSlow(addr, size, v)
+}
+
+// readSlow is the per-byte reference path, used for page-crossing (and
+// address-space-wrapping) accesses. Its behavior defines the semantics the
+// fast paths must match; the fuzz test cross-checks them against it.
+func (m *Sparse) readSlow(addr uint64, size int) uint64 {
 	var v uint64
 	for i := 0; i < size; i++ {
 		v |= uint64(m.ByteAt(addr+uint64(i))) << (8 * i)
@@ -52,24 +184,53 @@ func (m *Sparse) Read(addr uint64, size int) uint64 {
 	return v
 }
 
-// Write stores the low size bytes of v at addr, little-endian.
-func (m *Sparse) Write(addr uint64, size int, v uint64) {
+func (m *Sparse) writeSlow(addr uint64, size int, v uint64) {
 	for i := 0; i < size; i++ {
 		m.SetByte(addr+uint64(i), byte(v>>(8*i)))
 	}
 }
 
-// ReadInto fills dst with the bytes starting at addr.
+// Read returns size bytes at addr as a little-endian unsigned integer.
+// size must be in [1, 8]; accesses wrapping the top of the address space
+// wrap explicitly (see the package comment).
+func (m *Sparse) Read(addr uint64, size int) uint64 { return m.ReadUint(addr, size) }
+
+// Write stores the low size bytes of v at addr, little-endian, with the
+// same wrap semantics as Read.
+func (m *Sparse) Write(addr uint64, size int, v uint64) { m.WriteUint(addr, size, v) }
+
+// ReadInto fills dst with the bytes starting at addr, one page-chunked copy
+// at a time.
 func (m *Sparse) ReadInto(addr uint64, dst []byte) {
-	for i := range dst {
-		dst[i] = m.ByteAt(addr + uint64(i))
+	for len(dst) > 0 {
+		off := addr & pageMask
+		n := pageSize - int(off)
+		if n > len(dst) {
+			n = len(dst)
+		}
+		if p := m.page(addr, false); p != nil {
+			copy(dst[:n], p[off:])
+		} else {
+			for i := 0; i < n; i++ {
+				dst[i] = 0
+			}
+		}
+		dst = dst[n:]
+		addr += uint64(n)
 	}
 }
 
-// SetBytes stores src at addr.
+// SetBytes stores src at addr, one page-chunked copy at a time.
 func (m *Sparse) SetBytes(addr uint64, src []byte) {
-	for i, b := range src {
-		m.SetByte(addr+uint64(i), b)
+	for len(src) > 0 {
+		off := addr & pageMask
+		n := pageSize - int(off)
+		if n > len(src) {
+			n = len(src)
+		}
+		copy(m.page(addr, true)[off:], src[:n])
+		src = src[n:]
+		addr += uint64(n)
 	}
 }
 
@@ -90,7 +251,11 @@ func (m *Sparse) Pages() int { return len(m.pages) }
 
 // Reset unmaps every page, restoring the empty state while keeping the page
 // table's allocation (the page objects themselves are released; reloading an
-// image maps fresh zeroed pages).
+// image maps fresh zeroed pages). The page-pointer TLB is invalidated: its
+// cached pointers name pages that are no longer mapped.
 func (m *Sparse) Reset() {
 	clear(m.pages)
+	for i := range m.tlb {
+		m.tlb[i] = tlbEntry{}
+	}
 }

@@ -1,0 +1,53 @@
+package mem
+
+import "testing"
+
+// FuzzSparseWordVsByte cross-checks the word-granular Sparse fast paths
+// against the per-byte reference semantics (SetByte/ByteAt) for arbitrary
+// address/size/value combinations, including page-crossing and
+// address-space-wrapping accesses. `make fuzz-smoke` runs it in CI with a
+// short time budget; the f.Add seeds pin the known edge cases so they are
+// exercised on every run.
+func FuzzSparseWordVsByte(f *testing.F) {
+	f.Add(uint64(0), uint64(0x0102030405060708), uint8(7))          // aligned word
+	f.Add(uint64(pageSize-3), uint64(0xA1B2C3D4E5F60718), uint8(7)) // page crossing
+	f.Add(^uint64(0), uint64(0xBEEF), uint8(1))                     // address-space wrap
+	f.Add(uint64(pageSize-1), uint64(0x77), uint8(0))               // last byte of a page
+	f.Add(uint64(1<<40+5), uint64(0xFFFFFFFFFFFFFFFF), uint8(3))    // unaligned high page
+	f.Fuzz(func(t *testing.T, addr, v uint64, szSel uint8) {
+		size := 1 + int(szSel%8)
+		want := v
+		if size < 8 {
+			want &= 1<<(8*size) - 1
+		}
+
+		m := NewSparse()
+		m.WriteUint(addr, size, v)
+		ref := NewSparse()
+		for i := 0; i < size; i++ {
+			ref.SetByte(addr+uint64(i), byte(v>>(8*i)))
+		}
+
+		if got := m.ReadUint(addr, size); got != want {
+			t.Fatalf("word write/word read at %#x size %d: got %#x want %#x", addr, size, got, want)
+		}
+		if got := ref.ReadUint(addr, size); got != want {
+			t.Fatalf("byte write/word read at %#x size %d: got %#x want %#x", addr, size, got, want)
+		}
+		for i := 0; i < size; i++ {
+			a := addr + uint64(i)
+			if gb, rb := m.ByteAt(a), ref.ByteAt(a); gb != rb {
+				t.Fatalf("byte %d (%#x): word image %#x, byte image %#x", i, a, gb, rb)
+			}
+		}
+		if size == 8 {
+			if got := m.ReadWord64(addr); got != want {
+				t.Fatalf("ReadWord64 at %#x: got %#x want %#x", addr, got, want)
+			}
+			m.WriteWord64(addr+1, v) // unaligned, possibly page-crossing
+			if got, refv := m.ReadUint(addr+1, 8), v; got != refv {
+				t.Fatalf("WriteWord64 at %#x: got %#x want %#x", addr+1, got, refv)
+			}
+		}
+	})
+}

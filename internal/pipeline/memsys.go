@@ -108,7 +108,7 @@ func (m *mdtSFCSystem) executeLoad(e *entry, head bool) memOutcome {
 		// committed, so the cache-memory hierarchy is authoritative.
 		p.stats.HeadBypassLoads++
 		lat := p.cfg.AGULat + p.hier.DataLatency(e.memAddr)
-		return memOutcome{value: p.memory.Read(e.memAddr, e.memSize), latency: lat}
+		return memOutcome{value: p.memory.ReadUint(e.memAddr, e.memSize), latency: lat}
 	}
 	// §4 search filtering (store-vulnerability-window test): if every
 	// older store has already executed, no later-completing older store
@@ -147,16 +147,11 @@ func (m *mdtSFCSystem) executeLoad(e *entry, head bool) memOutcome {
 			m.mdt.LoadDropped(e.seq, e.memAddr, e.memSize)
 			return memOutcome{replay: true, cause: replayPartial}
 		}
-		// Merge the missing bytes from the cache hierarchy.
+		// Merge the missing bytes from the cache hierarchy: one word read,
+		// one masked merge.
 		lat := p.cfg.AGULat + p.hier.DataLatency(e.memAddr)
-		var v uint64
-		for i := 0; i < e.memSize; i++ {
-			b := sres.Data[i]
-			if sres.ValidMask&(1<<i) == 0 {
-				b = p.memory.ByteAt(e.memAddr + uint64(i))
-			}
-			v |= uint64(b) << (8 * i)
-		}
+		memv := p.memory.ReadUint(e.memAddr, e.memSize)
+		v := sres.Word | memv&^core.ExpandByteMask(sres.ValidMask)
 		p.stats.SFCPartialMerges++
 		return memOutcome{value: v, latency: lat}
 	case core.SFCFull:
@@ -164,14 +159,10 @@ func (m *mdtSFCSystem) executeLoad(e *entry, head bool) memOutcome {
 		// data is available at L1-hit time regardless of cache state.
 		p.hier.DataLatency(e.memAddr) // keep cache tag state warm
 		p.stats.SFCForwards++
-		var v uint64
-		for i := 0; i < e.memSize; i++ {
-			v |= uint64(sres.Data[i]) << (8 * i)
-		}
-		return memOutcome{value: v, latency: p.cfg.AGULat + p.hier.Config().L1HitCycles, forwarded: true}
+		return memOutcome{value: sres.Word, latency: p.cfg.AGULat + p.hier.Config().L1HitCycles, forwarded: true}
 	default: // SFCMiss
 		lat := p.cfg.AGULat + p.hier.DataLatency(e.memAddr)
-		return memOutcome{value: p.memory.Read(e.memAddr, e.memSize), latency: lat}
+		return memOutcome{value: p.memory.ReadUint(e.memAddr, e.memSize), latency: lat}
 	}
 }
 
@@ -185,7 +176,7 @@ func (m *mdtSFCSystem) executeStore(e *entry, head bool) memOutcome {
 		// instruction, can no longer be squashed, and retires as soon as
 		// it completes, so younger loads reading memory observe it
 		// correctly. (Retirement rewrites the same bytes, harmlessly.)
-		p.memory.Write(e.memAddr, e.memSize, e.memVal)
+		p.memory.WriteUint(e.memAddr, e.memSize, e.memVal)
 		// It must still check for younger loads that executed too early
 		// with a stale value (read-only MDT probe).
 		return memOutcome{latency: p.cfg.AGULat, violation: m.mdt.CheckStoreAtHead(e.seq, e.pc, e.memAddr, e.memSize)}
@@ -290,7 +281,7 @@ func (m *lsqSystem) dispatchStore(seq seqnum.Seq, pc uint64) {
 	}
 }
 
-func (m *lsqSystem) memRead(addr uint64) byte { return m.p.memory.ByteAt(addr) }
+func (m *lsqSystem) memRead(addr uint64, size int) uint64 { return m.p.memory.ReadUint(addr, size) }
 
 func (m *lsqSystem) executeLoad(e *entry, head bool) memOutcome {
 	p := m.p
@@ -373,7 +364,9 @@ func (m *valueReplaySystem) dispatchStore(seq seqnum.Seq, pc uint64) {
 	}
 }
 
-func (m *valueReplaySystem) memRead(addr uint64) byte { return m.p.memory.ByteAt(addr) }
+func (m *valueReplaySystem) memRead(addr uint64, size int) uint64 {
+	return m.p.memory.ReadUint(addr, size)
+}
 
 func (m *valueReplaySystem) executeLoad(e *entry, head bool) memOutcome {
 	p := m.p
@@ -472,7 +465,7 @@ func (m *mvSFCSystem) executeLoad(e *entry, head bool) memOutcome {
 	if head {
 		p.stats.HeadBypassLoads++
 		lat := p.cfg.AGULat + p.hier.DataLatency(e.memAddr)
-		return memOutcome{value: p.memory.Read(e.memAddr, e.memSize), latency: lat}
+		return memOutcome{value: p.memory.ReadUint(e.memAddr, e.memSize), latency: lat}
 	}
 	res := m.mdt.AccessLoad(e.seq, e.pc, e.memAddr, e.memSize)
 	if res.Conflict {
@@ -483,26 +476,16 @@ func (m *mvSFCSystem) executeLoad(e *entry, head bool) memOutcome {
 	case core.SFCFull:
 		p.hier.DataLatency(e.memAddr)
 		p.stats.SFCForwards++
-		var v uint64
-		for i := 0; i < e.memSize; i++ {
-			v |= uint64(sres.Data[i]) << (8 * i)
-		}
-		return memOutcome{value: v, latency: p.cfg.AGULat + p.hier.Config().L1HitCycles, forwarded: true}
+		return memOutcome{value: sres.Word, latency: p.cfg.AGULat + p.hier.Config().L1HitCycles, forwarded: true}
 	case core.SFCPartial:
 		lat := p.cfg.AGULat + p.hier.DataLatency(e.memAddr)
-		var v uint64
-		for i := 0; i < e.memSize; i++ {
-			b := sres.Data[i]
-			if sres.ValidMask&(1<<i) == 0 {
-				b = p.memory.ByteAt(e.memAddr + uint64(i))
-			}
-			v |= uint64(b) << (8 * i)
-		}
+		memv := p.memory.ReadUint(e.memAddr, e.memSize)
+		v := sres.Word | memv&^core.ExpandByteMask(sres.ValidMask)
 		p.stats.SFCPartialMerges++
 		return memOutcome{value: v, latency: lat}
 	default:
 		lat := p.cfg.AGULat + p.hier.DataLatency(e.memAddr)
-		return memOutcome{value: p.memory.Read(e.memAddr, e.memSize), latency: lat}
+		return memOutcome{value: p.memory.ReadUint(e.memAddr, e.memSize), latency: lat}
 	}
 }
 
@@ -511,7 +494,7 @@ func (m *mvSFCSystem) executeStore(e *entry, head bool) memOutcome {
 	if head {
 		p.stats.HeadBypassStores++
 		m.fifo.Execute(e.seq, e.memAddr, e.memSize, e.memVal)
-		p.memory.Write(e.memAddr, e.memSize, e.memVal)
+		p.memory.WriteUint(e.memAddr, e.memSize, e.memVal)
 		return memOutcome{latency: p.cfg.AGULat, violation: m.mdt.CheckStoreAtHead(e.seq, e.pc, e.memAddr, e.memSize)}
 	}
 	if !m.sfc.CanWrite(e.seq, e.memAddr) {

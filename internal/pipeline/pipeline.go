@@ -814,7 +814,7 @@ func (p *Pipeline) retire() {
 				p.fail(err)
 				return
 			}
-			p.memory.Write(addr, size, val)
+			p.memory.WriteUint(addr, size, val)
 			p.hier.DataLatency(addr) // commit touches the D-cache
 			if e.wroteSFC {
 				p.sfcLiveStores--

@@ -68,10 +68,10 @@ func (r *Result) withoutStats() *Result {
 // distinguishes it from per-run Result lines (which never carry the field).
 type SweepSummary struct {
 	Done      bool    `json:"done"`
-	Runs      int     `json:"runs"`    // grid points attempted
-	OK        int     `json:"ok"`      // runs that returned a result
-	Errors    int     `json:"errors"`  // failed or canceled runs
-	Cached    int     `json:"cached"`  // served from the result cache
+	Runs      int     `json:"runs"`   // grid points attempted
+	OK        int     `json:"ok"`     // runs that returned a result
+	Errors    int     `json:"errors"` // failed or canceled runs
+	Cached    int     `json:"cached"` // served from the result cache
 	Coalesced int     `json:"coalesced"`
 	ElapsedMS float64 `json:"elapsed_ms"`
 }

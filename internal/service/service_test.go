@@ -187,7 +187,7 @@ func TestCoalescing(t *testing.T) {
 		}(i)
 	}
 
-	backend.waitStarted(t, 1)      // the one leader is executing
+	backend.waitStarted(t, 1)         // the one leader is executing
 	time.Sleep(50 * time.Millisecond) // let the rest pile onto the flight
 	close(backend.release)
 	wg.Wait()
