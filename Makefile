@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: all vet fmt-check build test race bench-smoke fuzz-smoke bench bench-json bench-check serve-smoke ci
+.PHONY: all vet fmt-check build test race bench-smoke fuzz-smoke bench bench-json bench-check serve-smoke sample-smoke ci
 
 all: build
 
@@ -32,10 +32,12 @@ race:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
 
-# Short fuzz of the Sparse word paths vs the per-byte reference (the seeded
-# corpus always runs; the time budget explores beyond it).
+# Short fuzz runs (the seeded corpora always run; the time budget explores
+# beyond them): the Sparse word paths vs the per-byte reference, and the
+# snapshot decoder against arbitrary bytes.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzSparseWordVsByte -fuzztime 10s ./internal/mem
+	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/snapshot
 
 # Full measured run of the Go benchmarks.
 bench:
@@ -43,7 +45,7 @@ bench:
 
 # Regenerate the machine-readable benchmark report.
 bench-json:
-	$(GO) run ./cmd/sfcbench -insts 20000 -json BENCH_PR4.json bench all
+	$(GO) run ./cmd/sfcbench -insts 20000 -json BENCH_PR5.json bench all
 
 # Diff a fresh run against the committed report. The tool's default
 # tolerance (10%) suits a quiet, pinned machine; shared runners see
@@ -52,7 +54,7 @@ bench-json:
 # slips, but alloc regressions are always flagged exactly, and losing the
 # event wheel (+700% ns/op) or the entry pool (+2000%) trips it instantly.
 bench-check:
-	$(GO) run ./cmd/sfcbench -insts 20000 -baseline BENCH_PR4.json -tolerance 0.5 bench all
+	$(GO) run ./cmd/sfcbench -insts 20000 -baseline BENCH_PR5.json -tolerance 0.5 bench all
 
 # End-to-end smoke of the serving stack: sfcserve on an ephemeral port,
 # an sfcload burst that must hit the cache/coalescer for >=50% of requests,
@@ -60,4 +62,11 @@ bench-check:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
-ci: vet fmt-check build race bench-smoke fuzz-smoke bench-check serve-smoke
+# End-to-end smoke of the checkpoint & sampling subsystem: a fast-forward
+# run against an on-disk checkpoint store must miss cold, hit warm, and
+# report identical measured statistics either way; a sampled run must emit
+# a well-formed sampling block.
+sample-smoke:
+	sh scripts/sample_smoke.sh
+
+ci: vet fmt-check build race bench-smoke fuzz-smoke bench-check serve-smoke sample-smoke

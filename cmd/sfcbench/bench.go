@@ -14,13 +14,15 @@ import (
 	"sfcmdt/internal/harness"
 	"sfcmdt/internal/mem"
 	"sfcmdt/internal/pipeline"
+	"sfcmdt/internal/sample"
 	"sfcmdt/internal/sched"
 	"sfcmdt/internal/seqnum"
+	"sfcmdt/internal/snapshot"
 	"sfcmdt/internal/workload"
 )
 
 // benchResult is one line of the machine-readable benchmark report
-// (BENCH_PR4.json). MIPS (simulated instructions retired per wall-clock
+// (BENCH_PR5.json). MIPS (simulated instructions retired per wall-clock
 // microsecond) is reported only by the whole-simulator entries; the structure
 // micro-benchmarks leave it zero.
 type benchResult struct {
@@ -306,6 +308,59 @@ func benchStoreFIFO(uint64) (benchResult, error) {
 }
 
 // ---------------------------------------------------------------------------
+// Checkpoint & sampling entries: the functional fast-forward rate (the speed
+// that makes paper-scale instruction budgets tractable — compare its MIPS
+// against pipeline-steady-cycle's) and the snapshot encode/decode round trip
+// (the fixed cost of materializing or restoring one checkpoint).
+
+func benchFastForward(uint64) (benchResult, error) {
+	w, ok := workload.Get("mcf")
+	if !ok {
+		return benchResult{}, fmt.Errorf("workload mcf not registered")
+	}
+	img := w.Build()
+	res := testing.Benchmark(func(b *testing.B) {
+		m := arch.New(img)
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := sample.FastForward(m, uint64(b.N)); err != nil {
+			b.Fatal(err)
+		}
+		if m.Count != uint64(b.N) {
+			b.Fatalf("fast-forwarded %d insts, want %d (program halted?)", m.Count, b.N)
+		}
+	})
+	row := fromResult("fastforward-inst", res)
+	if row.NsPerOp > 0 {
+		row.MIPS = 1e3 / row.NsPerOp // one op = one instruction
+	}
+	return row, nil
+}
+
+func benchSnapshotRoundtrip(uint64) (benchResult, error) {
+	w, ok := workload.Get("gzip")
+	if !ok {
+		return benchResult{}, fmt.Errorf("workload gzip not registered")
+	}
+	m := arch.New(w.Build())
+	if err := sample.FastForward(m, 50_000); err != nil {
+		return benchResult{}, err
+	}
+	s := snapshot.Capture(m)
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			enc := s.Encode()
+			if _, err := snapshot.Decode(enc); err != nil {
+				b.Fatal(err)
+			}
+			benchSink += uint64(len(enc))
+		}
+	})
+	return fromResult("snapshot-roundtrip", res), nil
+}
+
+// ---------------------------------------------------------------------------
 // Whole-simulator entries: steady-state cycle cost and the Figure 5 macro
 // run, both reporting simulated MIPS.
 
@@ -463,6 +518,8 @@ var benchSuite = []benchEntry{
 	{"sfc-probe", benchSFCProbe},
 	{"mdt-probe-pair", benchMDT},
 	{"storefifo-push-pop", benchStoreFIFO},
+	{"fastforward-inst", benchFastForward},
+	{"snapshot-roundtrip", benchSnapshotRoundtrip},
 	{"issue-wakeup", benchIssueWakeup},
 	{"issue-scan", benchIssueScan},
 	{"pipeline-steady-cycle", benchPipelineCycle},

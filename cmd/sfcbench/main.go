@@ -13,7 +13,7 @@
 // wakeup vs linear-scan issue schedulers, the steady-state pipeline cycle,
 // and the Figure 5 macro run) and reports ns/op, B/op, allocs/op, and
 // simulated MIPS per entry. -json writes the rows to a file (the committed
-// BENCH_PR4.json is one such report); -baseline diffs the fresh rows
+// BENCH_PR5.json is one such report); -baseline diffs the fresh rows
 // against a committed report and exits nonzero when any entry regresses by
 // more than -tolerance, allocates where the baseline did not, or is missing
 // from the baseline file. Entries that *improved* by more than 40% are

@@ -9,7 +9,12 @@
 //
 //	sfcserve [-addr 127.0.0.1:8080] [-addr-file PATH] [-workers N]
 //	         [-queue N] [-cache N] [-default-insts N] [-max-insts N]
-//	         [-drain 15s]
+//	         [-max-ff N] [-checkpoint-dir DIR] [-drain 15s]
+//
+// -checkpoint-dir backs sampled requests' fast-forward warmup with an
+// on-disk content-addressed checkpoint store, so the functional pass
+// survives restarts and is shared across server processes; without it,
+// checkpoints live in process memory.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"time"
 
 	"sfcmdt/internal/service"
+	"sfcmdt/internal/snapshot"
 )
 
 func main() {
@@ -36,11 +42,23 @@ func main() {
 	cache := flag.Int("cache", 1024, "result cache entries")
 	defaultInsts := flag.Uint64("default-insts", 20_000, "instruction budget for requests that name none")
 	maxInsts := flag.Uint64("max-insts", 200_000, "largest per-request instruction budget")
+	maxFF := flag.Uint64("max-ff", 50_000_000, "largest per-request total functional fast-forward (sampled runs)")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for the on-disk checkpoint store (default: in-memory)")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown deadline before in-flight runs are canceled")
 	flag.Parse()
 
 	log.SetPrefix("sfcserve: ")
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+
+	var ckpts snapshot.Store
+	if *ckptDir != "" {
+		st, err := snapshot.NewDiskStore(*ckptDir)
+		if err != nil {
+			log.Fatalf("checkpoint-dir: %v", err)
+		}
+		ckpts = st
+		log.Printf("checkpoint store at %s", *ckptDir)
+	}
 
 	svc := service.New(service.Config{
 		Workers:      *workers,
@@ -48,6 +66,8 @@ func main() {
 		CacheEntries: *cache,
 		DefaultInsts: *defaultInsts,
 		MaxInsts:     *maxInsts,
+		MaxFFInsts:   *maxFF,
+		Checkpoints:  ckpts,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -6,21 +6,34 @@
 //
 //	sfcsim [-config baseline|aggressive] [-mem mdtsfc|lsq] [-pred enf|not-enf|total|off]
 //	       [-lq N] [-sq N] [-insts N] [-json] [-list] <workload>
+//	sfcsim -fastforward N [-checkpoint-dir DIR] [flags] <workload>
+//	sfcsim -sample-measure M [-fastforward W] [-sample-warm U] [-sample-intervals K]
+//	       [-checkpoint-dir DIR] [flags] <workload>
 //
 // -json emits the run as one service.Result JSON object — the same
 // machine-readable schema sfcserve's /v1/run returns — instead of the text
 // report.
+//
+// -fastforward skips N instructions on the functional model before the
+// detailed run; -sample-measure switches to SMARTS-style interval sampling
+// (per interval: fast-forward W, warm U in detail with stats discarded,
+// measure M). -checkpoint-dir backs the fast-forward with an on-disk
+// checkpoint store so repeated invocations restore instead of re-executing.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"text/tabwriter"
 
+	"sfcmdt/internal/metrics"
 	"sfcmdt/internal/pipeline"
+	"sfcmdt/internal/sample"
 	"sfcmdt/internal/service"
+	"sfcmdt/internal/snapshot"
 	"sfcmdt/sim"
 )
 
@@ -31,6 +44,11 @@ func main() {
 	lq := flag.Int("lq", 0, "LSQ load-queue entries (lsq only; default per config)")
 	sq := flag.Int("sq", 0, "LSQ store-queue entries")
 	insts := flag.Uint64("insts", 200_000, "correct-path instructions to simulate")
+	ff := flag.Uint64("fastforward", 0, "functionally fast-forward N instructions per interval before detailed simulation")
+	sWarm := flag.Uint64("sample-warm", 0, "detailed-warm instructions per interval, statistics discarded")
+	sMeasure := flag.Uint64("sample-measure", 0, "measured instructions per interval (enables interval sampling; default: -insts in one interval)")
+	sIntervals := flag.Int("sample-intervals", 1, "number of sampling intervals")
+	ckptDir := flag.String("checkpoint-dir", "", "on-disk checkpoint store backing the fast-forward (default: none)")
 	jsonOut := flag.Bool("json", false, "emit the run as service.Result JSON (the sfcserve schema)")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
@@ -72,6 +90,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *ff > 0 || *sMeasure > 0 {
+		plan := sample.Plan{FastForward: *ff, Warm: *sWarm, Measure: *sMeasure, Intervals: *sIntervals}
+		if plan.Measure == 0 {
+			plan.Measure = *insts
+		}
+		runSampled(cfg, w, plan, *ckptDir, *jsonOut)
+		return
+	}
+
 	p, err := pipeline.New(cfg, w.Build())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sfcsim: %v\n", err)
@@ -97,6 +124,23 @@ func main() {
 	fmt.Printf("pathology  %s\n", w.Pathology)
 	fmt.Printf("config     %s\n\n", cfg.Name)
 	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	writeStats(tw, s)
+	if mdt, sfc := p.MDTSFC(); mdt != nil {
+		fmt.Fprintf(tw, "MDT\t%d accesses, %d conflicts, %d reclaimed, %d occupied\n",
+			mdt.Accesses, mdt.Conflicts, mdt.Reclaimed, mdt.Occupied)
+		fmt.Fprintf(tw, "SFC\t%d writes, %d conflicts, %d corrupt-marks, %d reclaimed\n",
+			sfc.StoreWrites, sfc.StoreConflicts, sfc.Corruptions, sfc.Reclaimed)
+	}
+	if lsq := p.LSQ(); lsq != nil {
+		fmt.Fprintf(tw, "LSQ\t%d load searches, %d store searches, %d silent-store squelches\n",
+			lsq.LoadSearches, lsq.StoreSearches, lsq.SilentSquelch)
+	}
+	tw.Flush()
+}
+
+// writeStats renders the per-run counter table shared by the full and
+// sampled reports.
+func writeStats(tw *tabwriter.Writer, s *metrics.Stats) {
 	fmt.Fprintf(tw, "cycles\t%d\n", s.Cycles)
 	fmt.Fprintf(tw, "retired\t%d (loads %d, stores %d)\n", s.Retired, s.RetiredLoads, s.RetiredStores)
 	fmt.Fprintf(tw, "IPC\t%.3f\n", s.IPC())
@@ -113,16 +157,65 @@ func main() {
 	fmt.Fprintf(tw, "head bypasses\t%d loads, %d stores\n", s.HeadBypassLoads, s.HeadBypassStores)
 	fmt.Fprintf(tw, "caches\tL1I %d/%d, L1D %d/%d, L2 %d/%d (hits/misses)\n",
 		s.L1IHits, s.L1IMisses, s.L1DHits, s.L1DMisses, s.L2Hits, s.L2Misses)
-	if mdt, sfc := p.MDTSFC(); mdt != nil {
-		fmt.Fprintf(tw, "MDT\t%d accesses, %d conflicts, %d reclaimed, %d occupied\n",
-			mdt.Accesses, mdt.Conflicts, mdt.Reclaimed, mdt.Occupied)
-		fmt.Fprintf(tw, "SFC\t%d writes, %d conflicts, %d corrupt-marks, %d reclaimed\n",
-			sfc.StoreWrites, sfc.StoreConflicts, sfc.Corruptions, sfc.Reclaimed)
+}
+
+// runSampled executes the fast-forward / interval-sampling path and prints
+// either the sampled text report or the service.Result JSON (with its
+// sampling block).
+func runSampled(cfg sim.Config, w sim.WorkloadSpec, plan sample.Plan, ckptDir string, jsonOut bool) {
+	var store snapshot.Store
+	if ckptDir != "" {
+		st, err := snapshot.NewDiskStore(ckptDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sfcsim: checkpoint-dir: %v\n", err)
+			os.Exit(1)
+		}
+		store = st
 	}
-	if lsq := p.LSQ(); lsq != nil {
-		fmt.Fprintf(tw, "LSQ\t%d load searches, %d store searches, %d silent-store squelches\n",
-			lsq.LoadSearches, lsq.StoreSearches, lsq.SilentSquelch)
+	ivs, err := sample.Prepare(w.Build(), plan, store, "")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sfcsim: %v\n", err)
+		os.Exit(1)
 	}
+	if store != nil && !jsonOut {
+		if ivs.Restored == len(ivs.Ivs) && ivs.FFInsts == 0 {
+			fmt.Printf("checkpoint store: hit (%d/%d intervals restored)\n", ivs.Restored, len(ivs.Ivs))
+		} else {
+			fmt.Printf("checkpoint store: miss (fast-forwarded %d insts, restored %d/%d intervals)\n",
+				ivs.FFInsts, ivs.Restored, len(ivs.Ivs))
+		}
+	}
+	sres, err := ivs.Run(context.Background(), cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sfcsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	if jsonOut {
+		res := service.NewResult(w.Name, string(w.Class), cfg.Name, plan.Span(), sres.Measured)
+		res.Sampling = service.NewSamplingResult(sres)
+		if err := json.NewEncoder(os.Stdout).Encode(res); err != nil {
+			fmt.Fprintf(os.Stderr, "sfcsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("workload   %s (%s)\n", w.Name, w.Class)
+	fmt.Printf("pathology  %s\n", w.Pathology)
+	fmt.Printf("config     %s\n", cfg.Name)
+	fmt.Printf("sampling   %s (span %d insts)\n\n", plan, plan.Span())
+	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "sampled IPC\t%.3f (CV %.3f over %d intervals)\n", sres.IPC, sres.CV, sres.Intervals)
+	for i, ipc := range sres.IntervalIPC {
+		fmt.Fprintf(tw, "  interval %d\t%.3f (at +%d insts)\n", i, ipc, ivs.Ivs[i].Offset)
+	}
+	fmt.Fprintf(tw, "fast-forwarded\t%d insts (functional)\n", sres.FFInsts)
+	fmt.Fprintf(tw, "warmed\t%d insts (detailed, stats discarded)\n", sres.WarmInsts)
+	tw.Flush()
+	fmt.Printf("\nmeasured intervals:\n")
+	tw = tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	writeStats(tw, sres.Measured)
 	tw.Flush()
 }
 

@@ -74,6 +74,29 @@ func RunTrace(img *prog.Image, maxInsts uint64) (*Trace, error) {
 	return t, nil
 }
 
+// RunTraceFrom executes up to n further instructions on an existing machine
+// (typically one restored from a checkpoint or advanced by fast-forward) and
+// returns their trace. The machine is mutated in place, so the caller can
+// chain fast-forward and traced intervals over one machine. An empty trace is
+// not an error here: a machine that has already halted legitimately yields
+// zero records.
+func RunTraceFrom(m *Machine, n uint64) (*Trace, error) {
+	t := &Trace{
+		Recs: make([]Record, 0, min64(n, 1<<20)),
+		Dec:  isa.Predecode(m.Img.Code),
+	}
+	target := m.Count + n
+	for m.Count < target && !m.Halted {
+		rec, err := m.Step()
+		if err != nil {
+			return nil, fmt.Errorf("arch: %s: after %d insts: %w", m.Img.Name, m.Count, err)
+		}
+		t.Recs = append(t.Recs, rec)
+	}
+	t.Halted = m.Halted
+	return t, nil
+}
+
 func min64(a, b uint64) uint64 {
 	if a < b {
 		return a

@@ -11,6 +11,8 @@ import (
 	"sfcmdt/internal/metrics"
 	"sfcmdt/internal/pipeline"
 	"sfcmdt/internal/prog"
+	"sfcmdt/internal/sample"
+	"sfcmdt/internal/snapshot"
 	"sfcmdt/internal/workload"
 )
 
@@ -20,7 +22,10 @@ type Result struct {
 	Class    workload.Class
 	Config   string
 	Stats    *metrics.Stats
-	Err      error
+	// Sample is set on sampled runs: the per-interval breakdown behind
+	// Stats (which then holds the measured intervals' merged counters).
+	Sample *sample.Result
+	Err    error
 }
 
 // material is a workload's image and golden trace, built exactly once under
@@ -30,6 +35,16 @@ type material struct {
 	once sync.Once
 	img  *prog.Image
 	tr   *arch.Trace
+	err  error
+}
+
+// sampMaterial is a workload's prepared sampling intervals, the sampled-mode
+// counterpart of material: one functional pass (or checkpoint fetch) shared
+// by every configuration measured against the workload.
+type sampMaterial struct {
+	once sync.Once
+	img  *prog.Image
+	ivs  *sample.Intervals
 	err  error
 }
 
@@ -49,8 +64,20 @@ type Runner struct {
 	// invocation. The callback must still not call back into the Runner.
 	Progress func(format string, args ...any)
 
-	mu   sync.Mutex
-	mats map[string]*material
+	// Sampling, when non-nil, switches every run to systematic interval
+	// sampling: the runner prepares each workload's intervals once (a
+	// functional pass, skipped when Checkpoints already holds the interval
+	// start states) and measures every configuration against the shared
+	// intervals. MaxInsts is ignored in this mode; the plan bounds the run.
+	Sampling *sample.Plan
+	// Checkpoints, when non-nil, backs sampled preparation with a
+	// checkpoint store, so warmed state is shared across runners and — with
+	// a disk store — across processes.
+	Checkpoints snapshot.Store
+
+	mu    sync.Mutex
+	mats  map[string]*material
+	samps map[string]*sampMaterial
 
 	progMu sync.Mutex // serializes Progress invocations
 
@@ -105,9 +132,53 @@ func (r *Runner) materialize(w workload.Workload) (*prog.Image, *arch.Trace, err
 	return m.img, m.tr, m.err
 }
 
+// prepare returns the cached sampling intervals for a workload, preparing
+// them at most once even under concurrent misses.
+func (r *Runner) prepare(w workload.Workload) (*sampMaterial, error) {
+	r.mu.Lock()
+	if r.samps == nil {
+		r.samps = make(map[string]*sampMaterial)
+	}
+	m := r.samps[w.Name]
+	if m == nil {
+		m = &sampMaterial{}
+		r.samps[w.Name] = m
+	}
+	r.mu.Unlock()
+	m.once.Do(func() {
+		m.img = w.Build()
+		m.ivs, m.err = sample.Prepare(m.img, *r.Sampling, r.Checkpoints, "")
+		if m.err != nil {
+			m.err = fmt.Errorf("harness: %s: %w", w.Name, m.err)
+		}
+	})
+	return m, m.err
+}
+
 // Run executes one workload under one configuration.
 func (r *Runner) Run(cfg pipeline.Config, w workload.Workload) Result {
 	return r.RunContext(context.Background(), cfg, w)
+}
+
+// runSampled measures one configuration against the workload's shared
+// prepared intervals.
+func (r *Runner) runSampled(ctx context.Context, cfg pipeline.Config, w workload.Workload) Result {
+	res := Result{Workload: w.Name, Class: w.Class, Config: cfg.Name}
+	m, err := r.prepare(w)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	sres, err := m.ivs.Run(ctx, cfg)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Sample = sres
+	res.Stats = sres.Measured
+	r.retired.Add(sres.Measured.Retired)
+	r.progress("done %-12s %-28s IPC=%.3f (sampled, CV %.3f)", w.Name, cfg.Name, sres.IPC, sres.CV)
+	return res
 }
 
 // RunContext executes one workload under one configuration, abandoning the
@@ -121,6 +192,9 @@ func (r *Runner) RunContext(ctx context.Context, cfg pipeline.Config, w workload
 	if err := ctx.Err(); err != nil {
 		res.Err = err
 		return res
+	}
+	if r.Sampling != nil {
+		return r.runSampled(ctx, cfg, w)
 	}
 	img, tr, err := r.materialize(w)
 	if err != nil {
@@ -173,6 +247,10 @@ func (r *Runner) RunAllContext(ctx context.Context, jobs []Job) []Result {
 	for _, j := range jobs {
 		if ctx.Err() != nil {
 			break
+		}
+		if r.Sampling != nil {
+			r.prepare(j.W) // the per-job Run will surface any error
+			continue
 		}
 		if _, _, err := r.materialize(j.W); err != nil {
 			continue // the per-job Run will surface the error

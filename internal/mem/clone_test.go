@@ -1,0 +1,103 @@
+package mem
+
+import "testing"
+
+// TestCloneAliasing is the Clone-then-write regression test pinning the
+// TLB-cold contract documented on Clone: after a clone, no write on either
+// side — whether it resolves its page through the page map or through a warm
+// TLB slot — is visible on the other, and a clone taken from a memory whose
+// TLB is warm never inherits translations into the source's pages.
+func TestCloneAliasing(t *testing.T) {
+	m := NewSparse()
+	// Touch several pages, including two that collide in the same TLB slot,
+	// and leave the source TLB warm on all of them.
+	addrs := []uint64{0x0, 0x2000, tlbSize * pageSize, 3 * tlbSize * pageSize}
+	for i, a := range addrs {
+		m.WriteWord64(a, uint64(100+i))
+		m.ReadWord64(a)
+	}
+	c := m.Clone()
+	for i, a := range addrs {
+		if got := c.ReadWord64(a); got != uint64(100+i) {
+			t.Fatalf("clone[%#x] = %d, want %d", a, got, 100+i)
+		}
+	}
+	// Writes through the source's warm TLB must not reach the clone...
+	for i, a := range addrs {
+		m.WriteWord64(a, uint64(200+i))
+	}
+	for i, a := range addrs {
+		if got := c.ReadWord64(a); got != uint64(100+i) {
+			t.Fatalf("after source writes: clone[%#x] = %d, want %d", a, got, 100+i)
+		}
+	}
+	// ...and vice versa, now that the clone's own TLB is warm too.
+	for i, a := range addrs {
+		c.WriteWord64(a, uint64(300+i))
+	}
+	for i, a := range addrs {
+		if got := m.ReadWord64(a); got != uint64(200+i) {
+			t.Fatalf("after clone writes: source[%#x] = %d, want %d", a, got, 200+i)
+		}
+	}
+	// A page mapped only after the clone stays private to its side.
+	fresh := uint64(7 * tlbSize * pageSize)
+	m.WriteWord64(fresh, 1)
+	if got := c.ReadWord64(fresh); got != 0 {
+		t.Fatalf("clone sees post-clone page: %d", got)
+	}
+}
+
+// CopyFrom must behave like Reset+deep-copy even when the destination
+// already maps pages the source does not, and must leave no stale TLB
+// translations for the dropped pages.
+func TestCopyFromDropsStalePages(t *testing.T) {
+	dst := NewSparse()
+	dst.WriteWord64(0x5000, 77)
+	dst.ReadWord64(0x5000) // warm dst's TLB on a page src does not map
+	src := NewSparse()
+	src.WriteWord64(0x9000, 88)
+	dst.CopyFrom(src)
+	if got := dst.ReadWord64(0x5000); got != 0 {
+		t.Fatalf("dropped page still readable: %d", got)
+	}
+	if got := dst.ReadWord64(0x9000); got != 88 {
+		t.Fatalf("copied page: %d, want 88", got)
+	}
+	if dst.Pages() != src.Pages() {
+		t.Fatalf("page counts diverge: dst %d, src %d", dst.Pages(), src.Pages())
+	}
+	// The copy is deep: writing dst must not disturb src.
+	dst.WriteWord64(0x9000, 89)
+	if got := src.ReadWord64(0x9000); got != 88 {
+		t.Fatalf("src sees dst's write: %d", got)
+	}
+	// Self-copy is a no-op.
+	dst.CopyFrom(dst)
+	if got := dst.ReadWord64(0x9000); got != 89 {
+		t.Fatalf("self-copy corrupted memory: %d", got)
+	}
+}
+
+func TestForEachPageSetPageRoundTrip(t *testing.T) {
+	m := NewSparse()
+	m.WriteWord64(0x1000, 11)
+	m.WriteWord64(0x333000, 22)
+	r := NewSparse()
+	n := 0
+	m.ForEachPage(func(pn uint64, data *[PageSize]byte) {
+		r.SetPage(pn, data)
+		n++
+	})
+	if n != m.Pages() || r.Pages() != m.Pages() {
+		t.Fatalf("visited %d pages, src %d, dst %d", n, m.Pages(), r.Pages())
+	}
+	if r.ReadWord64(0x1000) != 11 || r.ReadWord64(0x333000) != 22 {
+		t.Fatal("rebuilt memory differs")
+	}
+	// SetPage copies: mutating the source page afterwards must not leak.
+	m.WriteWord64(0x1000, 99)
+	if got := r.ReadWord64(0x1000); got != 11 {
+		t.Fatalf("SetPage aliased the source page: %d", got)
+	}
+}

@@ -21,6 +21,13 @@ const pageShift = 12
 const pageSize = 1 << pageShift
 const pageMask = pageSize - 1
 
+// PageSize is the sparse memory's page granularity; the checkpoint subsystem
+// serializes memory as whole pages of this size.
+const PageSize = pageSize
+
+// PageShift is log2(PageSize): addr >> PageShift is the page number.
+const PageShift = pageShift
+
 // tlbSize is the number of direct-mapped slots in the page-pointer TLB.
 // The working set of the simulated workloads is a handful of pages (data
 // segment, stack, a few streamed arrays), so a small power-of-two table
@@ -236,14 +243,61 @@ func (m *Sparse) SetBytes(addr uint64, src []byte) {
 
 // Clone returns a deep copy of the memory. The functional golden model and
 // the timing pipeline each run against their own copy of the loaded image.
+//
+// TLB-cold contract: the clone's page-pointer TLB starts empty — it caches
+// pointers only to its OWN pages as they are touched, never to the source's.
+// Every page is deep-copied, so after Clone the two memories share no
+// mutable state: writes on either side (including writes served through a
+// warm TLB slot) are invisible to the other. The regression test
+// TestCloneAliasing pins this.
 func (m *Sparse) Clone() *Sparse {
 	c := NewSparse()
-	for pn, p := range m.pages {
-		cp := new([pageSize]byte)
-		*cp = *p
-		c.pages[pn] = cp
-	}
+	c.CopyFrom(m)
 	return c
+}
+
+// CopyFrom makes m a deep copy of src, reusing m's page table and any page
+// objects whose page numbers src also maps. m's TLB is invalidated: surviving
+// slots could otherwise name pages that CopyFrom just unmapped, and the
+// TLB-cold contract (see Clone) promises no stale translations after a bulk
+// rebind. src is read-only here and keeps its own TLB untouched.
+func (m *Sparse) CopyFrom(src *Sparse) {
+	if m == src {
+		return
+	}
+	for pn := range m.pages {
+		if _, ok := src.pages[pn]; !ok {
+			delete(m.pages, pn)
+		}
+	}
+	for pn, sp := range src.pages {
+		dp := m.pages[pn]
+		if dp == nil {
+			dp = new([pageSize]byte)
+			m.pages[pn] = dp
+		}
+		*dp = *sp
+	}
+	for i := range m.tlb {
+		m.tlb[i] = tlbEntry{}
+	}
+}
+
+// ForEachPage calls f for every mapped page, in unspecified order. The page
+// data pointer is the live page — callers must not retain it past the call if
+// they also mutate the memory. The checkpoint subsystem uses this to
+// serialize memory (sorting page numbers itself for determinism).
+func (m *Sparse) ForEachPage(f func(pn uint64, data *[PageSize]byte)) {
+	for pn, p := range m.pages {
+		f(pn, p)
+	}
+}
+
+// SetPage maps page number pn and copies data into it, the restore-path
+// counterpart of ForEachPage.
+func (m *Sparse) SetPage(pn uint64, data *[PageSize]byte) {
+	p := m.pageFor(pn, true)
+	*p = *data
 }
 
 // Pages returns the number of mapped pages (for tests).

@@ -207,6 +207,32 @@ func NewWithTrace(cfg Config, img *prog.Image, trace *arch.Trace) (*Pipeline, er
 	return p, nil
 }
 
+// StartState is the warm architectural state a pipeline starts from when its
+// run begins mid-program: register file, first PC to fetch, and memory
+// contents at the start point. It is produced by functional fast-forward or
+// a restored checkpoint (snapshot.State.StartState); the trace passed
+// alongside it must begin at the same point (arch.RunTraceFrom on the same
+// machine). Mem is read-only here — the pipeline copies it into its own
+// memory, so one StartState can seed many configs concurrently.
+type StartState struct {
+	Regs [isa.NumRegs]uint64
+	PC   uint64
+	Mem  *mem.Sparse
+}
+
+// NewFrom builds a pipeline that starts from a warm mid-program state
+// instead of the image's entry point. Everything microarchitectural — ROB,
+// sequence numbers, caches, branch predictor, dependence predictor, MDT/SFC
+// — starts cold, exactly as in New; only the architectural state (registers,
+// PC, memory) is warm.
+func NewFrom(cfg Config, img *prog.Image, trace *arch.Trace, st *StartState) (*Pipeline, error) {
+	p := &Pipeline{}
+	if err := p.ResetFrom(cfg, img, trace, st); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
 // Reset rebinds the pipeline to a configuration, program image, and golden
 // trace, reusing every allocation whose geometry still fits (tables, rings,
 // the event wheel, pooled entries, the sparse memory's page map). A reset
@@ -214,6 +240,17 @@ func NewWithTrace(cfg Config, img *prog.Image, trace *arch.Trace) (*Pipeline, er
 // harness relies on this to recycle pipelines across (workload × variant)
 // runs.
 func (p *Pipeline) Reset(cfg Config, img *prog.Image, trace *arch.Trace) error {
+	return p.reset(cfg, img, trace, nil)
+}
+
+// ResetFrom is Reset for a run that starts from a warm mid-program state (see
+// NewFrom). A nil st is exactly Reset. The same recycling guarantee holds:
+// ResetFrom on a used pipeline is observably identical to NewFrom.
+func (p *Pipeline) ResetFrom(cfg Config, img *prog.Image, trace *arch.Trace, st *StartState) error {
+	return p.reset(cfg, img, trace, st)
+}
+
+func (p *Pipeline) reset(cfg Config, img *prog.Image, trace *arch.Trace, st *StartState) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -221,7 +258,12 @@ func (p *Pipeline) Reset(cfg Config, img *prog.Image, trace *arch.Trace) error {
 	p.img = img
 	p.trace = trace
 
-	if p.memory == nil {
+	if st != nil {
+		if p.memory == nil {
+			p.memory = mem.NewSparse()
+		}
+		p.memory.CopyFrom(st.Mem)
+	} else if p.memory == nil {
 		p.memory = arch.LoadMemory(img)
 	} else {
 		arch.LoadMemoryInto(p.memory, img)
@@ -265,8 +307,16 @@ func (p *Pipeline) Reset(cfg Config, img *prog.Image, trace *arch.Trace) error {
 		p.rat[r] = physReg(r)
 		p.physReady[r] = true
 	}
-	// Architectural register 29 is the conventional stack pointer.
-	p.physVal[29] = prog.DefaultStackTop
+	if st != nil {
+		// Warm start: the architectural registers carry the state at the
+		// start point (register 0 is zero there by the ISA's invariant).
+		for r := 0; r < isa.NumRegs; r++ {
+			p.physVal[r] = st.Regs[r]
+		}
+	} else {
+		// Architectural register 29 is the conventional stack pointer.
+		p.physVal[29] = prog.DefaultStackTop
+	}
 	for i := nPhys - 1; i >= isa.NumRegs; i-- {
 		p.freePhys = append(p.freePhys, physReg(i))
 	}
@@ -332,6 +382,9 @@ func (p *Pipeline) Reset(cfg Config, img *prog.Image, trace *arch.Trace) error {
 	p.stats = metrics.Stats{}
 	p.cycle = 0
 	p.fetchPC = img.Entry
+	if st != nil {
+		p.fetchPC = st.PC
+	}
 	p.fetchStallUntil = 0
 	p.fetchTraceIdx = 0
 	p.onCorrectPath = true
@@ -487,6 +540,33 @@ func (p *Pipeline) RunContext(ctx context.Context) (*metrics.Stats, error) {
 	}
 	return p.finalize(), p.err
 }
+
+// RunUntilRetired simulates until at least n instructions of the bound trace
+// have retired (or the run finishes or fails first), polling ctx like
+// RunContext. The returned stats are the live record finalized up to the stop
+// point: the sampler snapshots them here, lets the run continue, and takes a
+// Delta at the end to discard detailed-warmup statistics. finalize's counter
+// folds are idempotent assignments, so finalizing mid-run is safe.
+func (p *Pipeline) RunUntilRetired(ctx context.Context, n uint64) (*metrics.Stats, error) {
+	poll := ctx.Done() != nil
+	check := p.cycle + ctxCheckCycles
+	for !p.done && uint64(p.retired) < n {
+		p.step()
+		if poll && p.cycle >= check {
+			check = p.cycle + ctxCheckCycles
+			if err := ctx.Err(); err != nil {
+				p.done = true
+				return p.finalize(), fmt.Errorf("pipeline: %s: run abandoned at cycle %d (retired %d): %w",
+					p.cfg.Name, p.cycle, p.retired, err)
+			}
+		}
+	}
+	return p.finalize(), p.err
+}
+
+// Err returns the run's terminal error, if any (set once the run fails;
+// callers that drive Step directly check it after the loop).
+func (p *Pipeline) Err() error { return p.err }
 
 // finalize folds the memory-subsystem and cache-hierarchy counters into the
 // stats record; it is safe to call on a finished or abandoned run.

@@ -1,0 +1,257 @@
+// Package sample implements functional fast-forward and SMARTS-style
+// systematic interval sampling, the subsystem that makes paper-scale
+// instruction budgets tractable: instead of simulating every instruction in
+// detail from cycle 0, a run fast-forwards on the architectural golden model
+// (near-native speed, no pipeline), runs a short detailed-warm prefix whose
+// statistics are discarded, measures a short detailed interval, and repeats —
+// aggregating measured intervals into an IPC estimate with a coefficient of
+// variation over intervals.
+//
+// Interval preparation (one functional pass producing per-interval start
+// states and golden traces) is independent of the pipeline configuration, so
+// a sweep prepares once and measures each config against the shared
+// intervals; with a snapshot.Store attached, the per-interval start states
+// are checkpointed and later sweeps (or other processes) skip the functional
+// pass entirely.
+package sample
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"sfcmdt/internal/arch"
+	"sfcmdt/internal/metrics"
+	"sfcmdt/internal/pipeline"
+	"sfcmdt/internal/prog"
+	"sfcmdt/internal/snapshot"
+)
+
+// FastForward advances the machine by up to n instructions on the functional
+// model (it stops early at HALT). The machine is mutated in place.
+func FastForward(m *arch.Machine, n uint64) error {
+	target := m.Count + n
+	for m.Count < target && !m.Halted {
+		if _, err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Plan is a systematic sampling plan: per interval, fast-forward FastForward
+// instructions functionally, run Warm instructions in detailed mode with
+// statistics discarded (to warm caches and predictors), then measure Measure
+// instructions; repeat Intervals times. The special plan {Measure: N,
+// Intervals: 1} measures everything and reproduces a full detailed run
+// bit-identically.
+type Plan struct {
+	FastForward uint64 // W: instructions skipped functionally per interval
+	Warm        uint64 // U: detailed instructions discarded per interval
+	Measure     uint64 // M: detailed instructions measured per interval
+	Intervals   int    // K: number of intervals
+}
+
+// Validate checks the plan.
+func (p Plan) Validate() error {
+	if p.Measure == 0 {
+		return fmt.Errorf("sample: plan measures 0 instructions per interval")
+	}
+	if p.Intervals <= 0 {
+		return fmt.Errorf("sample: plan has %d intervals", p.Intervals)
+	}
+	return nil
+}
+
+// PerInterval returns W+U+M, the instruction span of one interval.
+func (p Plan) PerInterval() uint64 { return p.FastForward + p.Warm + p.Measure }
+
+// Span returns the total instruction span the plan covers.
+func (p Plan) Span() uint64 { return uint64(p.Intervals) * p.PerInterval() }
+
+func (p Plan) String() string {
+	return fmt.Sprintf("ff=%d warm=%d measure=%d x%d", p.FastForward, p.Warm, p.Measure, p.Intervals)
+}
+
+// Interval is one prepared measurement point: the warm architectural state
+// at the start of the detailed portion and the golden trace of the Warm +
+// Measure instructions that follow it. Both are read-only after preparation
+// and shared across configurations.
+type Interval struct {
+	Offset uint64 // instructions retired before the detailed portion starts
+	Start  *pipeline.StartState
+	Trace  *arch.Trace
+}
+
+// Intervals is a prepared plan for one workload.
+type Intervals struct {
+	Img  *prog.Image
+	Plan Plan
+	Ivs  []Interval
+
+	// FFInsts is the functional-execution cost of preparation: instructions
+	// executed outside the detailed traces (the fast-forwarded gaps).
+	FFInsts uint64
+	// Restored counts interval start states fetched from the snapshot store
+	// instead of being reached by functional execution.
+	Restored int
+}
+
+// Prepare runs the single functional pass that materializes every interval
+// of the plan. If store is non-nil, each interval's start state is looked up
+// in it first (keyed by workload name, args, and instruction offset) and
+// checkpointed on miss, so repeated preparations skip the functional
+// fast-forward. Preparation stops early if the program halts; at least one
+// interval must be preparable.
+func Prepare(img *prog.Image, plan Plan, store snapshot.Store, args string) (*Intervals, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	ivs := &Intervals{Img: img, Plan: plan}
+	m := arch.New(img)
+	for k := 0; k < plan.Intervals && !m.Halted; k++ {
+		start := uint64(k)*plan.PerInterval() + plan.FastForward
+		if store != nil {
+			if s, ok, err := store.Get(snapshot.Key{Workload: img.Name, Args: args, Insts: start}); err != nil {
+				return nil, err
+			} else if ok {
+				restored, err := s.Machine(img)
+				if err != nil {
+					return nil, err
+				}
+				m = restored
+				ivs.Restored++
+			}
+		}
+		if m.Count < start {
+			before := m.Count
+			if err := FastForward(m, start-m.Count); err != nil {
+				return nil, err
+			}
+			ivs.FFInsts += m.Count - before
+			if store != nil && !m.Halted {
+				if err := store.Put(snapshot.Key{Workload: img.Name, Args: args, Insts: start}, snapshot.Capture(m)); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if m.Halted {
+			break
+		}
+		st := &pipeline.StartState{Regs: m.Regs, PC: m.PC, Mem: m.Mem.Clone()}
+		tr, err := arch.RunTraceFrom(m, plan.Warm+plan.Measure)
+		if err != nil {
+			return nil, err
+		}
+		if tr.Len() == 0 {
+			break
+		}
+		ivs.Ivs = append(ivs.Ivs, Interval{Offset: start, Start: st, Trace: tr})
+	}
+	if len(ivs.Ivs) == 0 {
+		return nil, fmt.Errorf("sample: %s: program too short for plan %s", img.Name, plan)
+	}
+	return ivs, nil
+}
+
+// Result is the aggregate of one config's measured intervals.
+type Result struct {
+	Plan      Plan
+	Intervals int // intervals measured (≤ Plan.Intervals if the program halted)
+
+	// Measured is the merged statistics of the measured portions only —
+	// detailed-warm statistics are discarded via a stats delta at the
+	// warm/measure boundary.
+	Measured *metrics.Stats
+
+	// IPC is the sampled IPC estimate: total measured retires over total
+	// measured cycles (interval IPCs weighted by cycle count).
+	IPC float64
+	// CV is the coefficient of variation (population stddev / mean) of the
+	// per-interval IPCs — the sampler's own error signal: a high CV means
+	// the intervals disagree and the estimate is unreliable.
+	CV          float64
+	IntervalIPC []float64
+
+	// Extrapolated scales Measured's additive counters to the plan's full
+	// instruction span, the sampled stand-in for a full detailed run's
+	// counter set.
+	Extrapolated *metrics.Stats
+
+	FFInsts   uint64 // functionally executed instructions (preparation)
+	WarmInsts uint64 // detailed instructions whose stats were discarded
+}
+
+// Run measures every prepared interval under one pipeline configuration and
+// aggregates. The intervals are read-only; concurrent Runs of different
+// configs over the same Intervals are safe.
+func (ivs *Intervals) Run(ctx context.Context, cfg pipeline.Config) (*Result, error) {
+	plan := ivs.Plan
+	// Each detailed episode is Warm+Measure instructions; bound cycles
+	// accordingly (Validate derives MaxCycles from MaxInsts).
+	cfg.MaxInsts = plan.Warm + plan.Measure
+	cfg.MaxCycles = 0
+
+	res := &Result{Plan: plan, Measured: &metrics.Stats{}, FFInsts: ivs.FFInsts}
+	var p *pipeline.Pipeline
+	for i := range ivs.Ivs {
+		iv := &ivs.Ivs[i]
+		var err error
+		if p == nil {
+			p, err = pipeline.NewFrom(cfg, ivs.Img, iv.Trace, iv.Start)
+		} else {
+			err = p.ResetFrom(cfg, ivs.Img, iv.Trace, iv.Start)
+		}
+		if err != nil {
+			return nil, err
+		}
+		var warm metrics.Stats
+		if plan.Warm > 0 {
+			w, err := p.RunUntilRetired(ctx, plan.Warm)
+			if err != nil {
+				return nil, err
+			}
+			warm = *w // value copy: Stats is all counters
+		}
+		final, err := p.RunContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		measured := final.Delta(&warm)
+		res.WarmInsts += warm.Retired
+		res.IntervalIPC = append(res.IntervalIPC, measured.IPC())
+		res.Measured.Merge(measured)
+		res.Intervals++
+	}
+	res.IPC = res.Measured.IPC()
+	res.CV = cv(res.IntervalIPC)
+
+	span := res.FFInsts + res.WarmInsts + res.Measured.Retired
+	ex := *res.Measured
+	if res.Measured.Retired > 0 {
+		ex.Scale(span, res.Measured.Retired)
+	}
+	res.Extrapolated = &ex
+	return res, nil
+}
+
+// cv returns the population coefficient of variation of xs.
+func cv(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(xs))) / mean
+}

@@ -6,8 +6,32 @@ import (
 	"sfcmdt/internal/core"
 	"sfcmdt/internal/harness"
 	"sfcmdt/internal/pipeline"
+	"sfcmdt/internal/sample"
 	"sfcmdt/internal/workload"
 )
+
+// SamplingSpec is the optional sampling block of a run request: a SMARTS-style
+// systematic plan that fast-forwards FF instructions functionally, warms the
+// pipeline for Warm detailed instructions with statistics discarded, measures
+// Measure instructions, and repeats Intervals times. The detailed budget
+// (Warm+Measure)×Intervals is bounded by the server's max-insts cap; the
+// functional budget FF×Intervals by its max-ff cap.
+type SamplingSpec struct {
+	FF        uint64 `json:"ff,omitempty"`
+	Warm      uint64 `json:"warm,omitempty"`
+	Measure   uint64 `json:"measure"`
+	Intervals int    `json:"intervals"`
+}
+
+// plan converts the wire spec to the sampler's plan.
+func (sp SamplingSpec) plan() sample.Plan {
+	return sample.Plan{FastForward: sp.FF, Warm: sp.Warm, Measure: sp.Measure, Intervals: sp.Intervals}
+}
+
+// key is the sampling suffix of the request key.
+func (sp SamplingSpec) key() string {
+	return fmt.Sprintf("s:%d,%d,%d,%d", sp.FF, sp.Warm, sp.Measure, sp.Intervals)
+}
 
 // RunRequest names one simulation: a workload, a processor configuration,
 // a memory subsystem + predictor variant, and an instruction budget — the
@@ -30,14 +54,21 @@ type RunRequest struct {
 	LQ int `json:"lq,omitempty"`
 	SQ int `json:"sq,omitempty"`
 	// Insts is the correct-path instruction budget; zero picks the
-	// server default, values above the server cap are rejected.
+	// server default, values above the server cap are rejected. Mutually
+	// exclusive with Sampling, whose plan spans the budget instead.
 	Insts uint64 `json:"insts,omitempty"`
+	// Sampling, when present, switches the run to systematic interval
+	// sampling: the plan's intervals are prepared once per workload
+	// (reusing the server's checkpoint store) and measured under this
+	// request's configuration. The result's headline numbers then describe
+	// the measured intervals, with the sampling block alongside.
+	Sampling *SamplingSpec `json:"sampling,omitempty"`
 }
 
 // normalize fills defaults in place and validates every field, so that two
 // requests naming the same run — explicitly or via defaults — canonicalize
 // to the same Key.
-func (rq *RunRequest) normalize(defaultInsts, maxInsts uint64) error {
+func (rq *RunRequest) normalize(defaultInsts, maxInsts, maxFFInsts uint64) error {
 	if _, ok := workload.Get(rq.Workload); !ok {
 		return fmt.Errorf("%w: unknown workload %q", ErrBadRequest, rq.Workload)
 	}
@@ -78,6 +109,24 @@ func (rq *RunRequest) normalize(defaultInsts, maxInsts uint64) error {
 	} else {
 		rq.LQ, rq.SQ = 0, 0 // irrelevant for MDT/SFC variants; fold for keying
 	}
+	if sp := rq.Sampling; sp != nil {
+		if rq.Insts != 0 {
+			return fmt.Errorf("%w: insts and sampling are mutually exclusive (the plan spans the budget)", ErrBadRequest)
+		}
+		if err := sp.plan().Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		if detailed := (sp.Warm + sp.Measure) * uint64(sp.Intervals); detailed > maxInsts {
+			return fmt.Errorf("%w: sampling plan's detailed budget %d exceeds server cap %d", ErrBadRequest, detailed, maxInsts)
+		}
+		if ff := sp.FF * uint64(sp.Intervals); ff > maxFFInsts {
+			return fmt.Errorf("%w: sampling plan fast-forwards %d insts, server cap is %d", ErrBadRequest, ff, maxFFInsts)
+		}
+		// The reported budget is the span the plan covers; the detailed
+		// work is bounded by the plan itself, not by Insts.
+		rq.Insts = sp.plan().Span()
+		return nil
+	}
 	if rq.Insts == 0 {
 		rq.Insts = defaultInsts
 	}
@@ -111,7 +160,13 @@ func defaultPred(config, mem string) string {
 // Identical runs — whatever mix of explicit fields and defaults produced
 // them — map to identical keys.
 func (rq RunRequest) Key() string {
-	return fmt.Sprintf("%s|%s|%s|%s|%d|%d|%d", rq.Workload, rq.Config, rq.Mem, rq.Pred, rq.LQ, rq.SQ, rq.Insts)
+	k := fmt.Sprintf("%s|%s|%s|%s|%d|%d|%d", rq.Workload, rq.Config, rq.Mem, rq.Pred, rq.LQ, rq.SQ, rq.Insts)
+	if rq.Sampling != nil {
+		// Sampled runs key on the plan too; unsampled keys keep their
+		// historical format.
+		k += "|" + rq.Sampling.key()
+	}
+	return k
 }
 
 // predMode maps the wire name to the predictor mode constant.
@@ -165,6 +220,11 @@ type SweepRequest struct {
 	Mems      []string `json:"mems,omitempty"`      // empty = ["mdtsfc"]
 	Preds     []string `json:"preds,omitempty"`     // empty = per-(config,mem) default
 	Insts     uint64   `json:"insts,omitempty"`
+	// Sampling applies one sampling plan to every grid point. Each
+	// workload's intervals are prepared once and shared by every
+	// configuration measured against it, so a sampled sweep pays the
+	// functional fast-forward per workload, not per point.
+	Sampling *SamplingSpec `json:"sampling,omitempty"`
 	// Stats includes the full per-run counter set on each NDJSON line
 	// (off by default: sweeps are usually after the headline numbers).
 	Stats bool `json:"stats,omitempty"`
@@ -189,7 +249,12 @@ func (sr SweepRequest) expand() []RunRequest {
 		for _, c := range configs {
 			for _, m := range mems {
 				for _, p := range preds {
-					out = append(out, RunRequest{Workload: w, Config: c, Mem: m, Pred: p, Insts: sr.Insts})
+					rq := RunRequest{Workload: w, Config: c, Mem: m, Pred: p, Insts: sr.Insts}
+					if sr.Sampling != nil {
+						sp := *sr.Sampling // each point owns its spec; normalize mutates requests
+						rq.Sampling = &sp
+					}
+					out = append(out, rq)
 				}
 			}
 		}

@@ -3,6 +3,7 @@ package service
 import (
 	"sfcmdt/internal/harness"
 	"sfcmdt/internal/metrics"
+	"sfcmdt/internal/sample"
 )
 
 // Result is the machine-readable record of one simulation run — the single
@@ -23,6 +24,11 @@ type Result struct {
 	// Stats is the full counter set (omitted on sweep lines unless the
 	// sweep asked for it).
 	Stats *metrics.Stats `json:"stats,omitempty"`
+
+	// Sampling is set on sampled runs: the plan and its per-interval
+	// outcome. Cycles/Retired/IPC and Stats then describe the measured
+	// intervals only.
+	Sampling *SamplingResult `json:"sampling,omitempty"`
 
 	// Serving metadata: how this response was produced. Cached means it
 	// came from the result cache; Coalesced means the request piggybacked
@@ -50,10 +56,52 @@ func NewResult(wname, class, cfgName string, insts uint64, st *metrics.Stats) *R
 	return r
 }
 
+// SamplingResult is the sampled-run block of a Result: the plan that ran and
+// the sampler's own quality signals.
+type SamplingResult struct {
+	Plan SamplingSpec `json:"plan"`
+	// Intervals measured; fewer than the plan's if the program halted.
+	Intervals int `json:"intervals"`
+	// IPC is the sampled estimate (identical to the result's headline IPC);
+	// CV is the population coefficient of variation of the per-interval
+	// IPCs — high CV means the intervals disagree and the estimate is soft.
+	IPC         float64   `json:"ipc"`
+	CV          float64   `json:"cv"`
+	IntervalIPC []float64 `json:"interval_ipc,omitempty"`
+	// Instruction accounting: functionally fast-forwarded, detailed-warm
+	// (statistics discarded), and measured.
+	FFInsts       uint64 `json:"ff_insts"`
+	WarmInsts     uint64 `json:"warm_insts"`
+	MeasuredInsts uint64 `json:"measured_insts"`
+}
+
+// NewSamplingResult converts a sampler aggregate to the wire block.
+func NewSamplingResult(sr *sample.Result) *SamplingResult {
+	return &SamplingResult{
+		Plan: SamplingSpec{
+			FF:        sr.Plan.FastForward,
+			Warm:      sr.Plan.Warm,
+			Measure:   sr.Plan.Measure,
+			Intervals: sr.Plan.Intervals,
+		},
+		Intervals:     sr.Intervals,
+		IPC:           sr.IPC,
+		CV:            sr.CV,
+		IntervalIPC:   sr.IntervalIPC,
+		FFInsts:       sr.FFInsts,
+		WarmInsts:     sr.WarmInsts,
+		MeasuredInsts: sr.Measured.Retired,
+	}
+}
+
 // resultFromHarness converts a successful harness result for a normalized
 // request.
 func resultFromHarness(rq RunRequest, hr harness.Result) *Result {
-	return NewResult(hr.Workload, string(hr.Class), hr.Config, rq.Insts, hr.Stats)
+	res := NewResult(hr.Workload, string(hr.Class), hr.Config, rq.Insts, hr.Stats)
+	if hr.Sample != nil {
+		res.Sampling = NewSamplingResult(hr.Sample)
+	}
+	return res
 }
 
 // withoutStats returns a shallow copy stripped of the full counter set (for

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"sfcmdt/internal/harness"
+	"sfcmdt/internal/snapshot"
 	"sfcmdt/internal/workload"
 )
 
@@ -54,6 +55,15 @@ type Config struct {
 	MaxInsts     uint64
 	// MaxSweepPoints bounds a single sweep's grid (default 4096).
 	MaxSweepPoints int
+	// MaxFFInsts caps a sampled request's total functional fast-forward
+	// (FF × intervals; default 50,000,000). Fast-forward is ~two orders of
+	// magnitude cheaper than detailed simulation, hence the separate, much
+	// larger cap.
+	MaxFFInsts uint64
+	// Checkpoints backs sampled runs' interval preparation. With a
+	// snapshot.DiskStore the fast-forward warmup survives restarts and is
+	// shared across processes; nil keeps checkpoints in process memory.
+	Checkpoints snapshot.Store
 	// Backend overrides the simulator-backed executor (tests only).
 	Backend Backend
 }
@@ -78,6 +88,12 @@ func (c *Config) fillDefaults() {
 	}
 	if c.MaxSweepPoints == 0 {
 		c.MaxSweepPoints = 4096
+	}
+	if c.MaxFFInsts == 0 {
+		c.MaxFFInsts = 50_000_000
+	}
+	if c.Checkpoints == nil {
+		c.Checkpoints = snapshot.NewMemStore()
 	}
 }
 
@@ -119,9 +135,14 @@ type Service struct {
 	// runners caches one harness.Runner per instruction budget: a
 	// runner's golden-trace cache is keyed by workload name alone, so
 	// budgets must not share one. Each runner pools pipelines across its
-	// runs.
+	// runs. samplers is the sampled-mode analogue, one runner per sampling
+	// plan: its per-workload interval cache lets every configuration of a
+	// coalesced sweep reuse one functional pass, and the shared checkpoint
+	// store lets even that pass be skipped when the warmup was already
+	// materialized (possibly by an earlier process).
 	runnersMu sync.Mutex
 	runners   map[uint64]*harness.Runner
+	samplers  map[string]*harness.Runner
 
 	// Serving counters (see Snapshot for meanings).
 	nRequests  atomic.Uint64
@@ -137,12 +158,13 @@ type Service struct {
 func New(cfg Config) *Service {
 	cfg.fillDefaults()
 	s := &Service{
-		cfg:     cfg,
-		start:   time.Now(),
-		cache:   newLRUCache(cfg.CacheEntries),
-		flight:  make(map[string]*call),
-		slots:   make(chan struct{}, cfg.Workers),
-		runners: make(map[uint64]*harness.Runner),
+		cfg:      cfg,
+		start:    time.Now(),
+		cache:    newLRUCache(cfg.CacheEntries),
+		flight:   make(map[string]*call),
+		slots:    make(chan struct{}, cfg.Workers),
+		runners:  make(map[uint64]*harness.Runner),
+		samplers: make(map[string]*harness.Runner),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.backend = cfg.Backend
@@ -162,7 +184,7 @@ func New(cfg Config) *Service {
 // The returned Result is the caller's own shallow copy; Cached/Coalesced
 // describe how this particular call was served.
 func (s *Service) Do(ctx context.Context, rq RunRequest, wait bool) (*Result, error) {
-	if err := rq.normalize(s.cfg.DefaultInsts, s.cfg.MaxInsts); err != nil {
+	if err := rq.normalize(s.cfg.DefaultInsts, s.cfg.MaxInsts, s.cfg.MaxFFInsts); err != nil {
 		return nil, err
 	}
 	s.nRequests.Add(1)
@@ -301,6 +323,23 @@ func (s *Service) runnerFor(insts uint64) *harness.Runner {
 	return r
 }
 
+// samplerFor returns the pooled sampled-mode runner for a plan. Runners are
+// keyed by the full plan, so coalesced sweep points sharing a plan share one
+// runner — and, through it, each workload's prepared intervals.
+func (s *Service) samplerFor(sp SamplingSpec) *harness.Runner {
+	s.runnersMu.Lock()
+	defer s.runnersMu.Unlock()
+	r, ok := s.samplers[sp.key()]
+	if !ok {
+		r = harness.NewRunner(0)
+		plan := sp.plan()
+		r.Sampling = &plan
+		r.Checkpoints = s.cfg.Checkpoints
+		s.samplers[sp.key()] = r
+	}
+	return r
+}
+
 // simBackend is the production backend: one pipeline run through the pooled
 // harness, honoring cancellation via the context plumbed into the cycle
 // loop.
@@ -309,7 +348,11 @@ func (s *Service) simBackend(ctx context.Context, rq RunRequest) (*Result, error
 	if !ok {
 		return nil, ErrBadRequest // normalize already checked; defensive
 	}
-	hr := s.runnerFor(rq.Insts).RunContext(ctx, rq.pipelineConfig(), w)
+	r := s.runnerFor(rq.Insts)
+	if rq.Sampling != nil {
+		r = s.samplerFor(*rq.Sampling)
+	}
+	hr := r.RunContext(ctx, rq.pipelineConfig(), w)
 	if hr.Err != nil {
 		return nil, hr.Err
 	}
@@ -407,6 +450,9 @@ func (s *Service) Stats() Snapshot {
 	snap.Failed = s.nFailed.Load()
 	s.runnersMu.Lock()
 	for _, r := range s.runners {
+		snap.TotalRetired += r.TotalRetired()
+	}
+	for _, r := range s.samplers {
 		snap.TotalRetired += r.TotalRetired()
 	}
 	s.runnersMu.Unlock()

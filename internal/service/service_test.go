@@ -95,7 +95,7 @@ func TestKeyCanonicalization(t *testing.T) {
 	a := RunRequest{Workload: "gzip"}
 	b := RunRequest{Workload: "gzip", Config: "baseline", Mem: "mdtsfc", Pred: "enf", Insts: 20_000}
 	for _, rq := range []*RunRequest{&a, &b} {
-		if err := rq.normalize(20_000, 200_000); err != nil {
+		if err := rq.normalize(20_000, 200_000, 50_000_000); err != nil {
 			t.Fatalf("normalize: %v", err)
 		}
 	}
@@ -103,7 +103,7 @@ func TestKeyCanonicalization(t *testing.T) {
 		t.Fatalf("defaulted key %q != explicit key %q", a.Key(), b.Key())
 	}
 	c := RunRequest{Workload: "gzip", Insts: 19_999}
-	if err := c.normalize(20_000, 200_000); err != nil {
+	if err := c.normalize(20_000, 200_000, 50_000_000); err != nil {
 		t.Fatalf("normalize: %v", err)
 	}
 	if c.Key() == a.Key() {
@@ -111,7 +111,7 @@ func TestKeyCanonicalization(t *testing.T) {
 	}
 	// LSQ sizes are irrelevant to MDT/SFC runs and must fold out of the key.
 	d := RunRequest{Workload: "gzip", LQ: 7, SQ: 9}
-	if err := d.normalize(20_000, 200_000); err != nil {
+	if err := d.normalize(20_000, 200_000, 50_000_000); err != nil {
 		t.Fatalf("normalize: %v", err)
 	}
 	if d.Key() != a.Key() {
@@ -464,4 +464,128 @@ func TestBadRequests(t *testing.T) {
 	if n := backend.runs.Load(); n != 0 {
 		t.Fatalf("bad requests reached the backend %d times", n)
 	}
+}
+
+// TestSamplingKey pins the sampled key format: unsampled requests keep their
+// historical key (cache back-compat across restarts), sampled ones append the
+// plan, and distinct plans do not collide.
+func TestSamplingKey(t *testing.T) {
+	plain := RunRequest{Workload: "gzip"}
+	if err := plain.normalize(20_000, 200_000, 50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.Key(), "|s:") {
+		t.Fatalf("unsampled key grew a sampling suffix: %q", plain.Key())
+	}
+	a := RunRequest{Workload: "gzip", Sampling: &SamplingSpec{FF: 9000, Measure: 1000, Intervals: 2}}
+	b := RunRequest{Workload: "gzip", Sampling: &SamplingSpec{FF: 8000, Warm: 1000, Measure: 1000, Intervals: 2}}
+	for _, rq := range []*RunRequest{&a, &b} {
+		if err := rq.normalize(20_000, 200_000, 50_000_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Both plans span 20000 insts; only the sampling suffix separates them.
+	if a.Insts != 20_000 || b.Insts != 20_000 {
+		t.Fatalf("plan spans %d and %d, want 20000", a.Insts, b.Insts)
+	}
+	if a.Key() == b.Key() {
+		t.Fatalf("distinct plans collapsed to one key %q", a.Key())
+	}
+}
+
+// TestSamplingBadRequests covers the sampled 400 surface.
+func TestSamplingBadRequests(t *testing.T) {
+	backend := newStubBackend()
+	_, ts := newTestServer(t, Config{Workers: 1, MaxInsts: 10_000, MaxFFInsts: 100_000, Backend: backend.fn})
+	for name, body := range map[string]string{
+		"insts with sampling":  `{"workload":"gzip","insts":5000,"sampling":{"measure":100,"intervals":1}}`,
+		"zero measure":         `{"workload":"gzip","sampling":{"ff":1000,"intervals":4}}`,
+		"zero intervals":       `{"workload":"gzip","sampling":{"measure":100}}`,
+		"detailed over cap":    `{"workload":"gzip","sampling":{"warm":5000,"measure":5000,"intervals":2}}`,
+		"fast-forward over ff": `{"workload":"gzip","sampling":{"ff":60000,"measure":100,"intervals":2}}`,
+	} {
+		resp, err := ts.Client().Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+	if n := backend.runs.Load(); n != 0 {
+		t.Fatalf("bad sampled requests reached the backend %d times", n)
+	}
+}
+
+// TestSampledRunEndToEnd runs the real simulator backend in sampled mode: the
+// response carries the sampling block, its IPC matches the headline IPC, and
+// a sampled sweep over two configurations shares one workload preparation
+// through the service's checkpoint store.
+func TestSampledRunEndToEnd(t *testing.T) {
+	t.Cleanup(trackGoroutines(t))
+	svc, ts := newTestServer(t, Config{Workers: 2})
+
+	rq := RunRequest{Workload: "gzip", Sampling: &SamplingSpec{FF: 4000, Warm: 500, Measure: 500, Intervals: 2}}
+	resp, res := postRun(t, ts, rq)
+	if res == nil {
+		t.Fatalf("sampled run failed: status %d", resp.StatusCode)
+	}
+	if res.Sampling == nil {
+		t.Fatalf("sampled result missing sampling block: %+v", res)
+	}
+	if res.Sampling.Intervals != 2 || len(res.Sampling.IntervalIPC) != 2 {
+		t.Fatalf("sampling block %+v, want 2 intervals", res.Sampling)
+	}
+	if res.Sampling.IPC != res.IPC {
+		t.Fatalf("sampling IPC %v != headline IPC %v", res.Sampling.IPC, res.IPC)
+	}
+	if res.Insts != 10_000 { // the plan's span
+		t.Fatalf("insts %d, want the plan span 10000", res.Insts)
+	}
+	if res.Retired == 0 || res.Retired > 1000+8 {
+		t.Fatalf("retired %d, want ≈ measured budget 1000", res.Retired)
+	}
+
+	// A sampled sweep over two predictor modes: both points measure against
+	// the same prepared intervals (one sampler runner per plan), so the
+	// second configuration pays no second fast-forward.
+	body, _ := json.Marshal(SweepRequest{
+		Workloads: []string{"gzip"},
+		Preds:     []string{"enf", "off"},
+		Sampling:  rq.Sampling,
+	})
+	sresp, err := ts.Client().Post(ts.URL+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/sweep: %v", err)
+	}
+	defer sresp.Body.Close()
+	var nres int
+	sc := bufio.NewScanner(sresp.Body)
+	for sc.Scan() {
+		if strings.Contains(sc.Text(), `"done"`) {
+			continue // the trailing SweepSummary line
+		}
+		var res Result
+		if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Text(), err)
+		}
+		nres++
+		if res.Err != "" {
+			t.Fatalf("sweep point failed: %q", sc.Text())
+		}
+		if res.Sampling == nil {
+			t.Fatalf("sweep line missing sampling block: %q", sc.Text())
+		}
+	}
+	if nres != 2 {
+		t.Fatalf("sweep returned %d results, want 2", nres)
+	}
+	svc.runnersMu.Lock()
+	nsamplers := len(svc.samplers)
+	svc.runnersMu.Unlock()
+	if nsamplers != 1 {
+		t.Fatalf("%d sampler runners for one plan, want 1", nsamplers)
+	}
+	ts.Client().CloseIdleConnections()
 }

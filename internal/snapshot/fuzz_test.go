@@ -1,0 +1,32 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"testing"
+
+	"sfcmdt/internal/snapshot"
+)
+
+// FuzzDecode throws arbitrary bytes at the decoder: it must never panic, and
+// whenever it accepts an input, re-encoding the decoded state must be
+// canonical (a fixed point) and decode back to an equal state.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("SFCP"))
+	f.Add(snapshot.Capture(machineAfter(f, "gzip", 300)).Encode())
+	f.Add(snapshot.Capture(machineAfter(f, "mcf", 1000)).Encode())
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := snapshot.Decode(b)
+		if err != nil {
+			return
+		}
+		enc := s.Encode()
+		s2, err := snapshot.Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode of accepted input failed: %v", err)
+		}
+		if !bytes.Equal(enc, s2.Encode()) {
+			t.Fatal("encoding of accepted input is not a fixed point")
+		}
+	})
+}

@@ -1,0 +1,63 @@
+#!/bin/sh
+# End-to-end smoke test for the checkpoint & sampling subsystem: run sfcsim
+# in fast-forward mode against an on-disk checkpoint store twice and assert
+#   - the first run misses the store and fast-forwards functionally,
+#   - the second run restores every interval from the checkpoint ("hit"),
+#   - both runs report the identical measured statistics line (checkpoints
+#     don't perturb results),
+#   - a multi-interval sampled run emits a well-formed sampling block in the
+#     service.Result JSON.
+# Run via `make sample-smoke`; part of `make ci`.
+set -eu
+
+TMP=$(mktemp -d)
+cleanup() { rm -rf "$TMP"; }
+trap cleanup EXIT INT TERM
+
+echo "sample-smoke: building sfcsim"
+go build -o "$TMP/sfcsim" ./cmd/sfcsim
+
+run_ff() {
+    "$TMP/sfcsim" -config baseline -insts 2000 -fastforward 20000 \
+        -checkpoint-dir "$TMP/ckpt" gzip
+}
+
+echo "sample-smoke: cold run (expect checkpoint miss)"
+run_ff >"$TMP/run1.txt"
+if ! grep -q "checkpoint store: miss" "$TMP/run1.txt"; then
+    echo "sample-smoke: first run did not miss the empty store" >&2
+    cat "$TMP/run1.txt" >&2
+    exit 1
+fi
+
+echo "sample-smoke: warm run (expect checkpoint hit)"
+run_ff >"$TMP/run2.txt"
+if ! grep -q "checkpoint store: hit" "$TMP/run2.txt"; then
+    echo "sample-smoke: second run did not restore from the store" >&2
+    cat "$TMP/run2.txt" >&2
+    exit 1
+fi
+
+# Identical measured statistics modulo the store-status and fast-forward
+# accounting lines (the restored run fast-forwards 0 insts by design):
+# restoring a checkpoint must be invisible to the simulation itself.
+sed '/^checkpoint store:/d; /^fast-forwarded/d' "$TMP/run1.txt" >"$TMP/run1.stats"
+sed '/^checkpoint store:/d; /^fast-forwarded/d' "$TMP/run2.txt" >"$TMP/run2.stats"
+if ! cmp -s "$TMP/run1.stats" "$TMP/run2.stats"; then
+    echo "sample-smoke: restored run's report differs from the cold run's" >&2
+    diff "$TMP/run1.stats" "$TMP/run2.stats" >&2 || true
+    exit 1
+fi
+
+echo "sample-smoke: sampled JSON run"
+"$TMP/sfcsim" -config baseline -fastforward 5000 -sample-warm 500 \
+    -sample-measure 500 -sample-intervals 3 -json mcf >"$TMP/sampled.json"
+for field in '"sampling"' '"interval_ipc"' '"cv"' '"ff_insts"'; do
+    if ! grep -q "$field" "$TMP/sampled.json"; then
+        echo "sample-smoke: sampled JSON missing $field" >&2
+        cat "$TMP/sampled.json" >&2
+        exit 1
+    fi
+done
+
+echo "sample-smoke: PASS (checkpoint round trip + sampled JSON)"

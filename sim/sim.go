@@ -13,6 +13,8 @@
 package sim
 
 import (
+	"context"
+
 	"sfcmdt/internal/arch"
 	"sfcmdt/internal/asm"
 	"sfcmdt/internal/core"
@@ -20,6 +22,8 @@ import (
 	"sfcmdt/internal/metrics"
 	"sfcmdt/internal/pipeline"
 	"sfcmdt/internal/prog"
+	"sfcmdt/internal/sample"
+	"sfcmdt/internal/snapshot"
 	"sfcmdt/internal/workload"
 )
 
@@ -125,6 +129,37 @@ func GoldenTrace(img *Image, maxInsts uint64) (*Trace, error) {
 // NewRunner builds an experiment runner with the given per-run instruction
 // budget.
 func NewRunner(maxInsts uint64) *Runner { return harness.NewRunner(maxInsts) }
+
+// Checkpointing and sampled simulation (DESIGN.md §9).
+type (
+	// SamplingPlan is a SMARTS-style systematic sampling plan: per
+	// interval, fast-forward functionally, warm the pipeline in detail
+	// with statistics discarded, then measure; repeated Intervals times.
+	SamplingPlan = sample.Plan
+	// SampledResult aggregates the measured intervals of a sampled run.
+	SampledResult = sample.Result
+	// SnapshotStore stores architectural checkpoints, content-addressed
+	// and keyed by (workload, args, instruction offset).
+	SnapshotStore = snapshot.Store
+)
+
+// Checkpoint stores: in-process and on-disk (persists across processes).
+var (
+	NewMemSnapshotStore  = snapshot.NewMemStore
+	NewDiskSnapshotStore = snapshot.NewDiskStore
+)
+
+// SampledRun prepares the plan's intervals over the program (restoring
+// interval start states from store when non-nil, checkpointing them on miss)
+// and measures them under the configuration. The plan {Measure: N,
+// Intervals: 1} reproduces Run(cfg, img) with MaxInsts=N bit-identically.
+func SampledRun(cfg Config, img *Image, plan SamplingPlan, store SnapshotStore) (*SampledResult, error) {
+	ivs, err := sample.Prepare(img, plan, store, "")
+	if err != nil {
+		return nil, err
+	}
+	return ivs.Run(context.Background(), cfg)
+}
 
 // The paper's experiments (see DESIGN.md's per-experiment index). Each
 // returns a printable table.
