@@ -34,10 +34,11 @@ bench-smoke:
 
 # Short fuzz runs (the seeded corpora always run; the time budget explores
 # beyond them): the Sparse word paths vs the per-byte reference, and the
-# snapshot decoder against arbitrary bytes.
+# snapshot and replay-stream decoders against arbitrary bytes.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzSparseWordVsByte -fuzztime 10s ./internal/mem
 	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/snapshot
+	$(GO) test -run '^$$' -fuzz FuzzDecode -fuzztime 10s ./internal/replay
 
 # Full measured run of the Go benchmarks.
 bench:
@@ -45,7 +46,7 @@ bench:
 
 # Regenerate the machine-readable benchmark report.
 bench-json:
-	$(GO) run ./cmd/sfcbench -insts 20000 -json BENCH_PR5.json bench all
+	$(GO) run ./cmd/sfcbench -insts 20000 -json BENCH_PR6.json bench all
 
 # Diff a fresh run against the committed report. The tool's default
 # tolerance (10%) suits a quiet, pinned machine; shared runners see
@@ -54,7 +55,7 @@ bench-json:
 # slips, but alloc regressions are always flagged exactly, and losing the
 # event wheel (+700% ns/op) or the entry pool (+2000%) trips it instantly.
 bench-check:
-	$(GO) run ./cmd/sfcbench -insts 20000 -baseline BENCH_PR5.json -tolerance 0.5 bench all
+	$(GO) run ./cmd/sfcbench -insts 20000 -baseline BENCH_PR6.json -tolerance 0.5 bench all
 
 # End-to-end smoke of the serving stack: sfcserve on an ephemeral port,
 # an sfcload burst that must hit the cache/coalescer for >=50% of requests,

@@ -14,6 +14,7 @@ import (
 	"sfcmdt/internal/harness"
 	"sfcmdt/internal/mem"
 	"sfcmdt/internal/pipeline"
+	"sfcmdt/internal/replay"
 	"sfcmdt/internal/sample"
 	"sfcmdt/internal/sched"
 	"sfcmdt/internal/seqnum"
@@ -22,7 +23,7 @@ import (
 )
 
 // benchResult is one line of the machine-readable benchmark report
-// (BENCH_PR5.json). MIPS (simulated instructions retired per wall-clock
+// (BENCH_PR6.json). MIPS (simulated instructions retired per wall-clock
 // microsecond) is reported only by the whole-simulator entries; the structure
 // micro-benchmarks leave it zero.
 type benchResult struct {
@@ -361,6 +362,78 @@ func benchSnapshotRoundtrip(uint64) (benchResult, error) {
 }
 
 // ---------------------------------------------------------------------------
+// Replay-substrate entries (DESIGN.md §10): the one-time cost of
+// materializing a columnar reference stream (the functional pass a sweep
+// pays once per workload) and the steady-state cycle cost of the detailed
+// pipeline consuming a pre-materialized stream (what every grid point pays).
+// Compare replay-materialize-inst's MIPS against fastforward-inst's to see
+// the column-append overhead on top of the bare functional model, and
+// replay-consume-cycle against pipeline-steady-cycle (which drives the
+// AoS lockstep trace) to confirm stream consumption costs nothing extra.
+
+// benchReplayMaterialize streams in fixed-size spans from one warm machine
+// rather than asking for a single b.N-record stream: real sweeps materialize
+// bounded spans too, and a 20M-record column set would otherwise spend the
+// benchmark re-growing and garbage-collecting hundred-MB slices instead of
+// measuring the append path.
+func benchReplayMaterialize(uint64) (benchResult, error) {
+	const span = 200_000
+	w, ok := workload.Get("mcf")
+	if !ok {
+		return benchResult{}, fmt.Errorf("workload mcf not registered")
+	}
+	img := w.Build()
+	res := testing.Benchmark(func(b *testing.B) {
+		m := arch.New(img)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for done := 0; done < b.N; {
+			n := span
+			if rem := b.N - done; rem < n {
+				n = rem
+			}
+			s, err := replay.MaterializeFrom(m, uint64(n))
+			if err != nil {
+				b.Fatal(err)
+			}
+			done += s.Len()
+			benchSink += uint64(s.Len())
+			if m.Halted { // program ended: restart off the clock
+				b.StopTimer()
+				m = arch.New(img)
+				b.StartTimer()
+			}
+		}
+	})
+	row := fromResult("replay-materialize-inst", res)
+	if row.NsPerOp > 0 {
+		row.MIPS = 1e3 / row.NsPerOp // one op = one instruction
+	}
+	return row, nil
+}
+
+func benchReplayConsume(insts uint64) (benchResult, error) {
+	if insts < 100_000 {
+		insts = 100_000
+	}
+	w, ok := workload.Get("swim")
+	if !ok {
+		return benchResult{}, fmt.Errorf("workload swim not registered")
+	}
+	img := w.Build()
+	// One functional pass off the clock; every rebuild below re-reads the
+	// same stream, exactly as sweep grid points share one materialization.
+	s, err := replay.Materialize(img, insts)
+	if err != nil {
+		return benchResult{}, err
+	}
+	cfg := harness.BaselineConfig(harness.MDTSFCEnf, insts)
+	return benchSteadyStepWith("replay-consume-cycle", func() (*pipeline.Pipeline, error) {
+		return pipeline.NewWithTrace(cfg, img, s.All())
+	})
+}
+
+// ---------------------------------------------------------------------------
 // Whole-simulator entries: steady-state cycle cost and the Figure 5 macro
 // run, both reporting simulated MIPS.
 
@@ -403,7 +476,16 @@ func benchSteadyStep(name string, insts uint64, mutate func(*pipeline.Config)) (
 	if insts < 100_000 {
 		insts = 100_000
 	}
-	p, err := steadyPipeline(insts, mutate)
+	return benchSteadyStepWith(name, func() (*pipeline.Pipeline, error) {
+		return steadyPipeline(insts, mutate)
+	})
+}
+
+// benchSteadyStepWith is the shared timing loop behind the steady-state
+// entries: build, warm off the clock, time Step, rebuild+re-warm off the
+// clock whenever a pipeline exhausts its budget mid-measurement.
+func benchSteadyStepWith(name string, build func() (*pipeline.Pipeline, error)) (benchResult, error) {
+	p, err := build()
 	if err != nil {
 		return benchResult{}, err
 	}
@@ -415,7 +497,7 @@ func benchSteadyStep(name string, insts uint64, mutate func(*pipeline.Config)) (
 		for i := 0; i < b.N; i++ {
 			if !p.Step() {
 				b.StopTimer()
-				np, err := steadyPipeline(insts, mutate)
+				np, err := build()
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -520,6 +602,8 @@ var benchSuite = []benchEntry{
 	{"storefifo-push-pop", benchStoreFIFO},
 	{"fastforward-inst", benchFastForward},
 	{"snapshot-roundtrip", benchSnapshotRoundtrip},
+	{"replay-materialize-inst", benchReplayMaterialize},
+	{"replay-consume-cycle", benchReplayConsume},
 	{"issue-wakeup", benchIssueWakeup},
 	{"issue-scan", benchIssueScan},
 	{"pipeline-steady-cycle", benchPipelineCycle},
@@ -619,9 +703,12 @@ const suspiciousImprovement = 0.40
 
 // compareBaseline diffs results against a committed baseline file and
 // returns the regressions: entries whose ns/op grew by more than tolerance
-// (fractional, e.g. 0.10 = 10%), or whose allocs/op grew at all beyond a
-// half-alloc of noise — a zero-alloc guarantee that starts allocating is a
-// regression no matter how cheap.
+// (fractional, e.g. 0.10 = 10%), or whose allocs/op grew beyond a
+// half-alloc plus 0.1% of the baseline count. The flat half-alloc keeps
+// the zero-alloc guarantee exact (one new allocation on a zero-alloc entry
+// always trips); the proportional term absorbs the ±1 flicker that macro
+// entries with tens of thousands of allocs show when a once-per-run
+// allocation amortizes differently across b.N.
 //
 // When both sides carry the cpu-calibration entry, every baseline ns/op is
 // scaled by the calibration ratio first, so a uniformly slower (or faster)
@@ -675,7 +762,7 @@ func compareBaseline(path string, tolerance float64, results []benchResult) (reg
 					r.Name, want, r.NsPerOp, 100*(1-r.NsPerOp/want), scale))
 			}
 		}
-		if r.AllocsPerOp > b.AllocsPerOp+0.5 {
+		if r.AllocsPerOp > b.AllocsPerOp+0.5+0.001*b.AllocsPerOp {
 			regressions = append(regressions, fmt.Sprintf(
 				"%s: allocs/op %.2f -> %.2f",
 				r.Name, b.AllocsPerOp, r.AllocsPerOp))

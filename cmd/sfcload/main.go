@@ -14,6 +14,12 @@
 // -min-hit-rate R exits nonzero unless (cached+coalesced)/completed >= R,
 // which lets CI assert that coalescing and caching actually serve repeat
 // traffic without backend runs.
+//
+// Two further modes serve scripting: -sweep POSTs the grid axes as one
+// /v1/sweep and prints its summary; -stats GETs /v1/stats and prints the
+// serving counters as grep-friendly "key value" lines (the serve smoke test
+// asserts the replay substrate's one-materialize-per-workload signature
+// this way).
 package main
 
 import (
@@ -58,6 +64,8 @@ func main() {
 	waitReady := flag.Duration("wait-ready", 10*time.Second, "poll /healthz this long before the burst")
 	minHitRate := flag.Float64("min-hit-rate", -1, "fail unless (cached+coalesced)/completed >= this (-1 disables)")
 	showStatsz := flag.Bool("statsz", true, "print the server's /statsz after the burst")
+	sweep := flag.Bool("sweep", false, "POST one /v1/sweep over the grid axes, print each line and the summary, and exit")
+	statsOnly := flag.Bool("stats", false, "GET /v1/stats and print the counters as 'key value' lines, then exit")
 	flag.Parse()
 
 	if *addr == "" {
@@ -73,6 +81,21 @@ func main() {
 	if err := waitHealthy(client, base, *waitReady); err != nil {
 		fmt.Fprintf(os.Stderr, "sfcload: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *statsOnly {
+		if err := printStats(client, base); err != nil {
+			fmt.Fprintf(os.Stderr, "sfcload: stats: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *sweep {
+		if err := doSweep(client, base, *workloads, *configs, *mems, *preds, *insts); err != nil {
+			fmt.Fprintf(os.Stderr, "sfcload: sweep: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	grid := buildGrid(*workloads, *configs, *mems, *preds, *insts)
@@ -253,6 +276,85 @@ func report(cts *counters, elapsed time.Duration) {
 	fmt.Printf("latency     p50 %s  p90 %s  p99 %s  max %s\n",
 		percentile(cts.latencies, 0.50), percentile(cts.latencies, 0.90),
 		percentile(cts.latencies, 0.99), percentile(cts.latencies, 1.0))
+}
+
+// doSweep posts the grid axes as one /v1/sweep, echoes each NDJSON line, and
+// fails if any grid point errored or the summary never arrived.
+func doSweep(client *http.Client, base, workloads, configs, mems, preds string, insts uint64) error {
+	split := func(s string) []string {
+		var out []string
+		for _, f := range strings.Split(s, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				out = append(out, f)
+			}
+		}
+		return out
+	}
+	sr := service.SweepRequest{
+		Workloads: split(workloads),
+		Configs:   split(configs),
+		Mems:      split(mems),
+		Preds:     split(preds),
+		Insts:     insts,
+	}
+	body, err := json.Marshal(sr)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(base+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
+	}
+	dec := json.NewDecoder(resp.Body)
+	var sum *service.SweepSummary
+	for dec.More() {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			return err
+		}
+		fmt.Println(strings.TrimSpace(string(raw)))
+		var maybe service.SweepSummary
+		if json.Unmarshal(raw, &maybe) == nil && maybe.Done {
+			sum = &maybe
+		}
+	}
+	if sum == nil {
+		return fmt.Errorf("stream ended without a summary line")
+	}
+	if sum.Errors > 0 || sum.OK != sum.Runs {
+		return fmt.Errorf("sweep finished with %d/%d ok, %d errors", sum.OK, sum.Runs, sum.Errors)
+	}
+	return nil
+}
+
+// printStats prints /v1/stats as sorted "key value" lines for scripts.
+func printStats(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var kv map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&kv); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%s %s\n", k, strings.TrimSpace(string(kv[k])))
+	}
+	return nil
 }
 
 func printStatsz(client *http.Client, base string) {

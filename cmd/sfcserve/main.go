@@ -9,12 +9,20 @@
 //
 //	sfcserve [-addr 127.0.0.1:8080] [-addr-file PATH] [-workers N]
 //	         [-queue N] [-cache N] [-default-insts N] [-max-insts N]
-//	         [-max-ff N] [-checkpoint-dir DIR] [-drain 15s]
+//	         [-max-ff N] [-checkpoint-dir DIR] [-replay-dir DIR]
+//	         [-lockstep] [-drain 15s]
 //
 // -checkpoint-dir backs sampled requests' fast-forward warmup with an
 // on-disk content-addressed checkpoint store, so the functional pass
 // survives restarts and is shared across server processes; without it,
 // checkpoints live in process memory.
+//
+// Full-detail runs draw their functional reference streams from a
+// service-wide replay cache, so every point of a sweep pays one functional
+// pass per workload (GET /v1/stats reports the hit/materialize counters).
+// -replay-dir persists the streams on disk across restarts; -lockstep
+// switches the backend to the golden-model oracle (bit-identical results,
+// no stream reuse).
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"sfcmdt/internal/replay"
 	"sfcmdt/internal/service"
 	"sfcmdt/internal/snapshot"
 )
@@ -44,6 +53,8 @@ func main() {
 	maxInsts := flag.Uint64("max-insts", 200_000, "largest per-request instruction budget")
 	maxFF := flag.Uint64("max-ff", 50_000_000, "largest per-request total functional fast-forward (sampled runs)")
 	ckptDir := flag.String("checkpoint-dir", "", "directory for the on-disk checkpoint store (default: in-memory)")
+	replayDir := flag.String("replay-dir", "", "directory for the on-disk replay-stream store (default: in-memory)")
+	lockstep := flag.Bool("lockstep", false, "run the backend against the golden-model lockstep oracle instead of replay streams")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown deadline before in-flight runs are canceled")
 	flag.Parse()
 
@@ -59,6 +70,15 @@ func main() {
 		ckpts = st
 		log.Printf("checkpoint store at %s", *ckptDir)
 	}
+	var streams replay.Store
+	if *replayDir != "" {
+		st, err := replay.NewDiskStore(*replayDir)
+		if err != nil {
+			log.Fatalf("replay-dir: %v", err)
+		}
+		streams = st
+		log.Printf("replay-stream store at %s", *replayDir)
+	}
 
 	svc := service.New(service.Config{
 		Workers:      *workers,
@@ -68,6 +88,8 @@ func main() {
 		MaxInsts:     *maxInsts,
 		MaxFFInsts:   *maxFF,
 		Checkpoints:  ckpts,
+		Streams:      streams,
+		Lockstep:     *lockstep,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -116,5 +138,7 @@ func main() {
 	st := svc.Stats()
 	log.Printf("drained: %d requests, %d cache hits, %d coalesced, %d executed, %d rejected",
 		st.Requests, st.CacheHits, st.Coalesced, st.Executed, st.Rejected)
+	log.Printf("replay streams: %d hits, %d store hits, %d materialized",
+		st.ReplayHits, st.ReplayStoreHits, st.ReplayMaterialized)
 	fmt.Println("sfcserve: clean shutdown")
 }

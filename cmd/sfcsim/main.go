@@ -19,6 +19,11 @@
 // (per interval: fast-forward W, warm U in detail with stats discarded,
 // measure M). -checkpoint-dir backs the fast-forward with an on-disk
 // checkpoint store so repeated invocations restore instead of re-executing.
+//
+// The detailed pipeline consumes a compact columnar replay stream by default;
+// -replay-dir persists streams on disk so repeated invocations skip the
+// functional pass, and -lockstep switches back to the golden-model oracle
+// (results are bit-identical either way — see DESIGN.md §10).
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 
 	"sfcmdt/internal/metrics"
 	"sfcmdt/internal/pipeline"
+	"sfcmdt/internal/replay"
 	"sfcmdt/internal/sample"
 	"sfcmdt/internal/service"
 	"sfcmdt/internal/snapshot"
@@ -49,6 +55,8 @@ func main() {
 	sMeasure := flag.Uint64("sample-measure", 0, "measured instructions per interval (enables interval sampling; default: -insts in one interval)")
 	sIntervals := flag.Int("sample-intervals", 1, "number of sampling intervals")
 	ckptDir := flag.String("checkpoint-dir", "", "on-disk checkpoint store backing the fast-forward (default: none)")
+	replayDir := flag.String("replay-dir", "", "on-disk replay-stream store: the functional reference stream is loaded from (or saved to) DIR instead of re-traced per invocation")
+	lockstep := flag.Bool("lockstep", false, "consume the golden-model trace in lockstep instead of a columnar replay stream (oracle mode; bit-identical results)")
 	jsonOut := flag.Bool("json", false, "emit the run as service.Result JSON (the sfcserve schema)")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
@@ -95,11 +103,30 @@ func main() {
 		if plan.Measure == 0 {
 			plan.Measure = *insts
 		}
-		runSampled(cfg, w, plan, *ckptDir, *jsonOut)
+		runSampled(cfg, w, plan, *ckptDir, *lockstep, *jsonOut)
 		return
 	}
 
-	p, err := pipeline.New(cfg, w.Build())
+	img := w.Build()
+	var p *pipeline.Pipeline
+	var err error
+	if *lockstep {
+		p, err = pipeline.New(cfg, img)
+	} else {
+		var store replay.Store
+		if *replayDir != "" {
+			store, err = replay.NewDiskStore(*replayDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sfcsim: replay-dir: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		var v *replay.View
+		v, err = replay.NewCache(store).Source(img, "", *insts, nil)
+		if err == nil {
+			p, err = pipeline.NewWithTrace(cfg, img, v)
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sfcsim: %v\n", err)
 		os.Exit(1)
@@ -162,7 +189,7 @@ func writeStats(tw *tabwriter.Writer, s *metrics.Stats) {
 // runSampled executes the fast-forward / interval-sampling path and prints
 // either the sampled text report or the service.Result JSON (with its
 // sampling block).
-func runSampled(cfg sim.Config, w sim.WorkloadSpec, plan sample.Plan, ckptDir string, jsonOut bool) {
+func runSampled(cfg sim.Config, w sim.WorkloadSpec, plan sample.Plan, ckptDir string, lockstep, jsonOut bool) {
 	var store snapshot.Store
 	if ckptDir != "" {
 		st, err := snapshot.NewDiskStore(ckptDir)
@@ -172,7 +199,11 @@ func runSampled(cfg sim.Config, w sim.WorkloadSpec, plan sample.Plan, ckptDir st
 		}
 		store = st
 	}
-	ivs, err := sample.Prepare(w.Build(), plan, store, "")
+	prep := sample.Prepare
+	if lockstep {
+		prep = sample.PrepareLockstep
+	}
+	ivs, err := prep(w.Build(), plan, store, "")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sfcsim: %v\n", err)
 		os.Exit(1)

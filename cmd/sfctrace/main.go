@@ -9,6 +9,13 @@
 //
 //	sfctrace [-config baseline|aggressive] [-mem mdtsfc|lsq] [-insts N]
 //	         [-from CYCLE] [-events N] [-addr HEXADDR] <workload | file.s>
+//	sfctrace -stream-export FILE [-insts N] <workload | file.s>
+//	sfctrace -stream-info FILE
+//
+// -stream-export materializes the target's columnar replay stream (one
+// functional pass, no pipeline) and writes the encoded blob to FILE;
+// -stream-info decodes such a blob and prints what it holds. Together they
+// expose the replay substrate (DESIGN.md §10) as inspectable artifacts.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 
 	"sfcmdt/internal/pipeline"
 	"sfcmdt/internal/prog"
+	"sfcmdt/internal/replay"
 	"sfcmdt/sim"
 )
 
@@ -30,7 +38,16 @@ func main() {
 	from := flag.Uint64("from", 0, "suppress events before this cycle")
 	maxEvents := flag.Int("events", 200, "stop printing after this many events (0 = unlimited)")
 	addrFilter := flag.String("addr", "", "only print events touching this (hex) address")
+	streamExport := flag.String("stream-export", "", "materialize the target's replay stream at -insts, write the encoded blob to FILE, and exit")
+	streamInfo := flag.String("stream-info", "", "decode an encoded replay-stream FILE, print a summary, and exit")
 	flag.Parse()
+	if *streamInfo != "" {
+		if err := printStreamInfo(*streamInfo); err != nil {
+			fmt.Fprintf(os.Stderr, "sfctrace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: sfctrace [flags] <workload | file.s>")
 		os.Exit(2)
@@ -40,6 +57,19 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sfctrace: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *streamExport != "" {
+		s, err := replay.Materialize(img, *insts)
+		if err == nil {
+			err = os.WriteFile(*streamExport, s.Encode(), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sfctrace: stream-export: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d records (halted=%v) -> %s\n", img.Name, s.Len(), s.Halted, *streamExport)
+		return
 	}
 
 	variant := sim.MDTSFCEnf
@@ -121,6 +151,26 @@ func cycleOf(line string) uint64 {
 		return 0
 	}
 	return n
+}
+
+// printStreamInfo decodes an encoded replay stream and summarizes it.
+func printStreamInfo(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	s, err := replay.Decode(b)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload   %s\n", s.Workload)
+	fmt.Printf("code base  %#x\n", s.CodeBase)
+	fmt.Printf("records    %d (halted=%v)\n", s.Len(), s.Halted)
+	fmt.Printf("size       %d bytes (%.1f B/inst)\n", len(b), float64(len(b))/float64(s.Len()))
+	if len(s.Anchors) > 0 {
+		fmt.Printf("anchors    %d (first at +%d insts)\n", len(s.Anchors), s.Anchors[0])
+	}
+	return nil
 }
 
 // loadTarget resolves the argument as a workload name or an assembly file.

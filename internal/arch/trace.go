@@ -51,6 +51,25 @@ func (t *Trace) Len() int { return len(t.Recs) }
 // At returns record i.
 func (t *Trace) At(i int) *Record { return &t.Recs[i] }
 
+// The point accessors below make *Trace a pipeline.ReplaySource — the
+// lockstep-oracle implementation, answering from the AoS records the
+// functional model produced directly.
+
+// PCAt returns record i's program counter.
+func (t *Trace) PCAt(i int) uint64 { return t.Recs[i].PC }
+
+// TakenAt returns record i's branch outcome.
+func (t *Trace) TakenAt(i int) bool { return t.Recs[i].Taken }
+
+// NextPCAt returns record i's architectural next PC.
+func (t *Trace) NextPCAt(i int) uint64 { return t.Recs[i].NextPC }
+
+// RecordAt returns record i by value.
+func (t *Trace) RecordAt(i int) Record { return t.Recs[i] }
+
+// Decoded returns the shared predecode table.
+func (t *Trace) Decoded() []isa.DecodedInst { return t.Dec }
+
 // RunTrace executes the program on the functional model for at most maxInsts
 // instructions and returns the trace. The pipeline simulates exactly this
 // dynamic instruction stream and validates its own retirement against it.

@@ -1,0 +1,125 @@
+package harness
+
+import (
+	"sync"
+	"testing"
+
+	"sfcmdt/internal/pipeline"
+	"sfcmdt/internal/replay"
+	"sfcmdt/internal/sample"
+	"sfcmdt/internal/snapshot"
+	"sfcmdt/internal/workload"
+)
+
+// TestRunMatrixLockstepReplayIdentical pins the runner's two source modes
+// against each other end to end: the same workload × configuration matrix run
+// through the default replay streams and through the golden-model lockstep
+// oracle must produce identical statistics everywhere.
+func TestRunMatrixLockstepReplayIdentical(t *testing.T) {
+	ws := []workload.Workload{mustWorkload(t, "gzip"), mustWorkload(t, "mcf")}
+	pcfgs := []pipeline.Config{
+		BaselineConfig(MDTSFCEnf, 5_000),
+		BaselineConfig(LSQ48x32, 5_000),
+	}
+
+	rr := NewRunner(5_000)
+	replayRes, err := rr.RunMatrix(ws, pcfgs)
+	if err != nil {
+		t.Fatalf("replay matrix: %v", err)
+	}
+	lr := NewRunner(5_000)
+	lr.Lockstep = true
+	lockRes, err := lr.RunMatrix(ws, pcfgs)
+	if err != nil {
+		t.Fatalf("lockstep matrix: %v", err)
+	}
+	for i := range ws {
+		for j := range pcfgs {
+			if *replayRes[i][j].Stats != *lockRes[i][j].Stats {
+				t.Errorf("%s under %s: replay diverged from lockstep\nreplay:   %+v\nlockstep: %+v",
+					ws[i].Name, pcfgs[j].Name, *replayRes[i][j].Stats, *lockRes[i][j].Stats)
+			}
+		}
+	}
+	st := rr.Replay.Stats()
+	if st.Materialized != uint64(len(ws)) {
+		t.Errorf("replay matrix materialized %d streams, want one per workload (%d)", st.Materialized, len(ws))
+	}
+}
+
+// TestSweepMaterializesOncePerWorkload pins the sweep fix: an N-point grid
+// over W workloads pays exactly W stream materializations and probes the
+// stream store exactly W times — once per workload, not once per grid point.
+func TestSweepMaterializesOncePerWorkload(t *testing.T) {
+	ws := []workload.Workload{mustWorkload(t, "gzip"), mustWorkload(t, "mcf")}
+	cfgs := []pipeline.Config{
+		BaselineConfig(MDTSFCEnf, 3_000),
+		BaselineConfig(LSQ48x32, 3_000),
+		BaselineConfig(ValueReplay120x80, 3_000),
+	}
+	cs := &replay.CountingStore{Inner: replay.NewMemStore()}
+	r := NewRunner(3_000)
+	r.Replay = replay.NewCache(cs)
+	if _, err := r.RunMatrix(ws, cfgs); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cs.Gets(), len(ws); got != want {
+		t.Errorf("stream store probed %d times for a %d-point grid, want %d (once per workload)",
+			got, len(ws)*len(cfgs), want)
+	}
+	if got, want := cs.Puts(), len(ws); got != want {
+		t.Errorf("stream store written %d times, want %d", got, want)
+	}
+	st := r.Replay.Stats()
+	if st.Materialized != uint64(len(ws)) {
+		t.Errorf("materialized %d functional passes, want %d", st.Materialized, len(ws))
+	}
+}
+
+// countingSnapStore counts snapshot-store probes (the sampled-mode analogue
+// of replay.CountingStore).
+type countingSnapStore struct {
+	inner snapshot.Store
+	mu    sync.Mutex
+	gets  int
+}
+
+func (c *countingSnapStore) Get(k snapshot.Key) (*snapshot.State, bool, error) {
+	c.mu.Lock()
+	c.gets++
+	c.mu.Unlock()
+	return c.inner.Get(k)
+}
+
+func (c *countingSnapStore) Put(k snapshot.Key, s *snapshot.State) error { return c.inner.Put(k, s) }
+
+func (c *countingSnapStore) Gets() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gets
+}
+
+// TestSampledSweepProbesCheckpointsOncePerWorkload pins the sampled-mode half
+// of the sweep fix: a grid of C configurations over W workloads with a
+// K-interval plan probes the checkpoint store K times per workload (one
+// lookup per interval in the single shared preparation), independent of C.
+func TestSampledSweepProbesCheckpointsOncePerWorkload(t *testing.T) {
+	ws := []workload.Workload{mustWorkload(t, "gzip"), mustWorkload(t, "mcf")}
+	cfgs := []pipeline.Config{
+		BaselineConfig(MDTSFCEnf, 0),
+		BaselineConfig(LSQ48x32, 0),
+		BaselineConfig(ValueReplay120x80, 0),
+	}
+	plan := sample.Plan{FastForward: 2_000, Warm: 200, Measure: 300, Intervals: 3}
+	cs := &countingSnapStore{inner: snapshot.NewMemStore()}
+	r := NewRunner(0)
+	r.Sampling = &plan
+	r.Checkpoints = cs
+	if _, err := r.RunMatrix(ws, cfgs); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cs.Gets(), len(ws)*plan.Intervals; got != want {
+		t.Errorf("checkpoint store probed %d times for a %d-point grid, want %d (intervals × workloads)",
+			got, len(ws)*len(cfgs), want)
+	}
+}

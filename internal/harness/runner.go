@@ -11,6 +11,7 @@ import (
 	"sfcmdt/internal/metrics"
 	"sfcmdt/internal/pipeline"
 	"sfcmdt/internal/prog"
+	"sfcmdt/internal/replay"
 	"sfcmdt/internal/sample"
 	"sfcmdt/internal/snapshot"
 	"sfcmdt/internal/workload"
@@ -28,13 +29,13 @@ type Result struct {
 	Err    error
 }
 
-// material is a workload's image and golden trace, built exactly once under
-// its own sync.Once (per-workload singleflight): concurrent misses block on
-// the builder instead of each rebuilding the trace.
+// material is a workload's image and reference stream, built exactly once
+// under its own sync.Once (per-workload singleflight): concurrent misses
+// block on the builder instead of each rebuilding the stream.
 type material struct {
 	once sync.Once
 	img  *prog.Image
-	tr   *arch.Trace
+	src  pipeline.ReplaySource
 	err  error
 }
 
@@ -75,6 +76,21 @@ type Runner struct {
 	// a disk store — across processes.
 	Checkpoints snapshot.Store
 
+	// Replay, when non-nil, is the stream cache full-detail runs draw their
+	// reference streams from: one functional pass per (workload, span),
+	// shared across every configuration, every budget that fits the
+	// materialized span, and — when several runners point at one cache —
+	// across runners. When nil (and Lockstep is off), the runner lazily
+	// creates a private in-process cache, so stream reuse within one runner
+	// needs no setup.
+	Replay *replay.Cache
+	// Lockstep switches full-detail runs back to the golden-model oracle:
+	// the pipeline consumes the functional simulator's AoS trace directly
+	// instead of a columnar replay stream. The two modes are pinned
+	// bit-identical by the replay equivalence tests; Lockstep exists as the
+	// oracle escape hatch, not as a differently-accurate mode.
+	Lockstep bool
+
 	mu    sync.Mutex
 	mats  map[string]*material
 	samps map[string]*sampMaterial
@@ -107,13 +123,19 @@ func (r *Runner) progress(format string, args ...any) {
 // simulated-MIPS figure.
 func (r *Runner) TotalRetired() uint64 { return r.retired.Load() }
 
-// materialize returns the cached image and trace for a workload, building
-// them at most once even under concurrent misses.
-func (r *Runner) materialize(w workload.Workload) (*prog.Image, *arch.Trace, error) {
+// materialize returns the cached image and reference stream for a workload,
+// building them at most once even under concurrent misses. In the default
+// replay mode the stream comes from the runner's cache (creating a private
+// one on first use); in lockstep mode it is the golden AoS trace.
+func (r *Runner) materialize(w workload.Workload) (*prog.Image, pipeline.ReplaySource, error) {
 	r.mu.Lock()
 	if r.mats == nil {
 		r.mats = make(map[string]*material)
 	}
+	if !r.Lockstep && r.Replay == nil {
+		r.Replay = replay.NewCache(nil)
+	}
+	cache := r.Replay
 	m := r.mats[w.Name]
 	if m == nil {
 		m = &material{}
@@ -122,14 +144,23 @@ func (r *Runner) materialize(w workload.Workload) (*prog.Image, *arch.Trace, err
 	r.mu.Unlock()
 	m.once.Do(func() {
 		img := w.Build()
-		tr, err := arch.RunTrace(img, r.MaxInsts)
+		if r.Lockstep {
+			tr, err := arch.RunTrace(img, r.MaxInsts)
+			if err != nil {
+				m.err = fmt.Errorf("harness: %s: %w", w.Name, err)
+				return
+			}
+			m.img, m.src = img, tr
+			return
+		}
+		v, err := cache.Source(img, "", r.MaxInsts, nil)
 		if err != nil {
 			m.err = fmt.Errorf("harness: %s: %w", w.Name, err)
 			return
 		}
-		m.img, m.tr = img, tr
+		m.img, m.src = img, v
 	})
-	return m.img, m.tr, m.err
+	return m.img, m.src, m.err
 }
 
 // prepare returns the cached sampling intervals for a workload, preparing
@@ -147,7 +178,11 @@ func (r *Runner) prepare(w workload.Workload) (*sampMaterial, error) {
 	r.mu.Unlock()
 	m.once.Do(func() {
 		m.img = w.Build()
-		m.ivs, m.err = sample.Prepare(m.img, *r.Sampling, r.Checkpoints, "")
+		prep := sample.Prepare
+		if r.Lockstep {
+			prep = sample.PrepareLockstep
+		}
+		m.ivs, m.err = prep(m.img, *r.Sampling, r.Checkpoints, "")
 		if m.err != nil {
 			m.err = fmt.Errorf("harness: %s: %w", w.Name, m.err)
 		}
@@ -196,7 +231,7 @@ func (r *Runner) RunContext(ctx context.Context, cfg pipeline.Config, w workload
 	if r.Sampling != nil {
 		return r.runSampled(ctx, cfg, w)
 	}
-	img, tr, err := r.materialize(w)
+	img, src, err := r.materialize(w)
 	if err != nil {
 		res.Err = err
 		return res
@@ -204,9 +239,9 @@ func (r *Runner) RunContext(ctx context.Context, cfg pipeline.Config, w workload
 	cfg.MaxInsts = r.MaxInsts
 	p, _ := r.pipes.Get().(*pipeline.Pipeline)
 	if p == nil {
-		p, err = pipeline.NewWithTrace(cfg, img, tr)
+		p, err = pipeline.NewWithTrace(cfg, img, src)
 	} else {
-		err = p.Reset(cfg, img, tr)
+		err = p.Reset(cfg, img, src)
 	}
 	if err != nil {
 		res.Err = err
@@ -242,12 +277,20 @@ func (r *Runner) RunAll(jobs []Job) []Result {
 // the context error) and in-flight runs are abandoned with partial stats.
 func (r *Runner) RunAllContext(ctx context.Context, jobs []Job) []Result {
 	results := make([]Result, len(jobs))
-	// Materialize traces serially first (cheap, avoids front-loading the
-	// worker fan-out with trace builds).
+	// Materialize reference streams serially first (cheap, avoids
+	// front-loading the worker fan-out with stream builds). A sweep grid
+	// repeats each workload once per configuration; dedupe to one
+	// materialize — and one checkpoint/stream-store probe — per workload,
+	// not one per grid point.
+	seen := make(map[string]bool, len(jobs))
 	for _, j := range jobs {
 		if ctx.Err() != nil {
 			break
 		}
+		if seen[j.W.Name] {
+			continue
+		}
+		seen[j.W.Name] = true
 		if r.Sampling != nil {
 			r.prepare(j.W) // the per-job Run will surface any error
 			continue

@@ -116,11 +116,12 @@ type waiter struct {
 // leaves the code segment.
 var wrongPathNop = isa.PredecodeInst(isa.Inst{Op: isa.OpNop})
 
-// Pipeline is one configured processor instance bound to one program trace.
+// Pipeline is one configured processor instance bound to one program's
+// correct-path reference stream (a golden trace or a replay view).
 type Pipeline struct {
 	cfg    Config
 	img    *prog.Image
-	trace  *arch.Trace
+	src    ReplaySource
 	memory *mem.Sparse
 	hier   *mem.Hierarchy
 	bp     *bpred.Gshare
@@ -197,11 +198,12 @@ func New(cfg Config, img *prog.Image) (*Pipeline, error) {
 	return NewWithTrace(cfg, img, trace)
 }
 
-// NewWithTrace builds a pipeline against a precomputed golden trace (the
-// harness reuses one trace across configurations).
-func NewWithTrace(cfg Config, img *prog.Image, trace *arch.Trace) (*Pipeline, error) {
+// NewWithTrace builds a pipeline against a precomputed reference stream —
+// a golden *arch.Trace (lockstep oracle) or a *replay.View (shared columnar
+// stream). The harness reuses one source across configurations.
+func NewWithTrace(cfg Config, img *prog.Image, src ReplaySource) (*Pipeline, error) {
 	p := &Pipeline{}
-	if err := p.Reset(cfg, img, trace); err != nil {
+	if err := p.Reset(cfg, img, src); err != nil {
 		return nil, err
 	}
 	return p, nil
@@ -225,38 +227,38 @@ type StartState struct {
 // sequence numbers, caches, branch predictor, dependence predictor, MDT/SFC
 // — starts cold, exactly as in New; only the architectural state (registers,
 // PC, memory) is warm.
-func NewFrom(cfg Config, img *prog.Image, trace *arch.Trace, st *StartState) (*Pipeline, error) {
+func NewFrom(cfg Config, img *prog.Image, src ReplaySource, st *StartState) (*Pipeline, error) {
 	p := &Pipeline{}
-	if err := p.ResetFrom(cfg, img, trace, st); err != nil {
+	if err := p.ResetFrom(cfg, img, src, st); err != nil {
 		return nil, err
 	}
 	return p, nil
 }
 
-// Reset rebinds the pipeline to a configuration, program image, and golden
-// trace, reusing every allocation whose geometry still fits (tables, rings,
-// the event wheel, pooled entries, the sparse memory's page map). A reset
-// pipeline is observably identical to a freshly-constructed one — the
-// harness relies on this to recycle pipelines across (workload × variant)
-// runs.
-func (p *Pipeline) Reset(cfg Config, img *prog.Image, trace *arch.Trace) error {
-	return p.reset(cfg, img, trace, nil)
+// Reset rebinds the pipeline to a configuration, program image, and
+// reference stream, reusing every allocation whose geometry still fits
+// (tables, rings, the event wheel, pooled entries, the sparse memory's page
+// map). A reset pipeline is observably identical to a freshly-constructed
+// one — the harness relies on this to recycle pipelines across
+// (workload × variant) runs.
+func (p *Pipeline) Reset(cfg Config, img *prog.Image, src ReplaySource) error {
+	return p.reset(cfg, img, src, nil)
 }
 
 // ResetFrom is Reset for a run that starts from a warm mid-program state (see
 // NewFrom). A nil st is exactly Reset. The same recycling guarantee holds:
 // ResetFrom on a used pipeline is observably identical to NewFrom.
-func (p *Pipeline) ResetFrom(cfg Config, img *prog.Image, trace *arch.Trace, st *StartState) error {
-	return p.reset(cfg, img, trace, st)
+func (p *Pipeline) ResetFrom(cfg Config, img *prog.Image, src ReplaySource, st *StartState) error {
+	return p.reset(cfg, img, src, st)
 }
 
-func (p *Pipeline) reset(cfg Config, img *prog.Image, trace *arch.Trace, st *StartState) error {
+func (p *Pipeline) reset(cfg Config, img *prog.Image, src ReplaySource, st *StartState) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
 	p.cfg = cfg
 	p.img = img
-	p.trace = trace
+	p.src = src
 
 	if st != nil {
 		if p.memory == nil {
@@ -356,11 +358,11 @@ func (p *Pipeline) reset(cfg Config, img *prog.Image, trace *arch.Trace, st *Sta
 	}
 	p.pred.WakeHook = p.onTagReady
 
-	// Bind the shared pre-decoded code table; a trace built outside
-	// arch.RunTrace (or against a different image) falls back to decoding
-	// here.
-	if len(trace.Dec) == len(img.Code) {
-		p.dec = trace.Dec
+	// Bind the shared pre-decoded code table; a source built outside
+	// arch.RunTrace / replay (or against a different image) falls back to
+	// decoding here.
+	if dec := src.Decoded(); len(dec) == len(img.Code) {
+		p.dec = dec
 	} else {
 		p.dec = isa.Predecode(img.Code)
 	}
@@ -940,7 +942,7 @@ func (p *Pipeline) retire() {
 		if !e.inWheel {
 			p.freeEntry(e)
 		}
-		if isHalt || p.retired >= p.trace.Len() {
+		if isHalt || p.retired >= p.src.Len() {
 			p.done = true
 			return
 		}
@@ -955,7 +957,7 @@ func (p *Pipeline) validateRetire(e *entry) error {
 		return fmt.Errorf("retiring seq %d pc=%#x %s: trace index %d, expected %d (wrong-path instruction reached retirement?)",
 			e.seq, e.pc, e.inst, e.traceIdx, p.retired)
 	}
-	rec := p.trace.At(p.retired)
+	rec := p.src.RecordAt(p.retired)
 	if rec.PC != e.pc {
 		return fmt.Errorf("retire #%d: pc %#x, trace has %#x", p.retired, e.pc, rec.PC)
 	}
@@ -1544,7 +1546,7 @@ func (p *Pipeline) fetch() {
 	if p.fetchHalted || p.cycle < p.fetchStallUntil {
 		return
 	}
-	if p.onCorrectPath && p.fetchTraceIdx >= p.trace.Len() {
+	if p.onCorrectPath && p.fetchTraceIdx >= p.src.Len() {
 		return // instruction budget exhausted; drain the pipeline
 	}
 	branches := 0
@@ -1582,7 +1584,7 @@ func (p *Pipeline) fetch() {
 			dir := p.bp.Predict(pc)
 			p.bp.Lookups++
 			if p.onCorrectPath {
-				trueTaken := p.trace.At(p.fetchTraceIdx).Taken
+				trueTaken := p.src.TakenAt(p.fetchTraceIdx)
 				if dir != trueTaken {
 					p.bp.GshareWrong++
 					if p.bp.OracleFixes(uint64(seq)) {
@@ -1603,7 +1605,7 @@ func (p *Pipeline) fetch() {
 			if p.onCorrectPath {
 				// Perfect indirect-target prediction on the correct path
 				// (the paper's front end oracle covers target supply).
-				predNext = p.trace.At(p.fetchTraceIdx).NextPC
+				predNext = p.src.NextPCAt(p.fetchTraceIdx)
 			}
 			// Wrong path: predict fall-through; execute will redirect.
 		case in.Op == isa.OpHalt:
@@ -1615,14 +1617,14 @@ func (p *Pipeline) fetch() {
 
 		traceIdx := -1
 		if p.onCorrectPath {
-			rec := p.trace.At(p.fetchTraceIdx)
-			if rec.PC != pc {
-				p.fail(fmt.Errorf("correct-path fetch at %#x, trace expects %#x (idx %d)", pc, rec.PC, p.fetchTraceIdx))
+			if truePC := p.src.PCAt(p.fetchTraceIdx); truePC != pc {
+				p.fail(fmt.Errorf("correct-path fetch at %#x, trace expects %#x (idx %d)", pc, truePC, p.fetchTraceIdx))
 				return
 			}
+			trueNext := p.src.NextPCAt(p.fetchTraceIdx)
 			traceIdx = p.fetchTraceIdx
 			p.fetchTraceIdx++
-			if predNext != rec.NextPC && !isHalt {
+			if predNext != trueNext && !isHalt {
 				// Diverging from the correct path: subsequent fetches are
 				// wrong-path until recovery.
 				p.onCorrectPath = false
@@ -1647,7 +1649,7 @@ func (p *Pipeline) fetch() {
 			p.fetchHalted = true
 			return
 		}
-		if p.onCorrectPath && p.fetchTraceIdx >= p.trace.Len() {
+		if p.onCorrectPath && p.fetchTraceIdx >= p.src.Len() {
 			return
 		}
 		if predNext != pc+4 {

@@ -1,0 +1,101 @@
+package pipeline
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sfcmdt/internal/arch"
+	"sfcmdt/internal/replay"
+)
+
+// TestReplayEquivalence pins replay mode to the lockstep oracle: across the
+// same random-program corpus TestSchedulerEquivalence uses and every
+// scheduler-equivalence configuration, a pipeline consuming the columnar
+// replay stream must produce statistics bit-identical to one consuming the
+// golden AoS trace. Any divergence means the stream reconstructed a fetch
+// answer (branch outcome, indirect target, next PC) or a retirement record
+// differently from the functional model.
+func TestReplayEquivalence(t *testing.T) {
+	n := 200
+	if testing.Short() {
+		n = 30
+	}
+	for seed := 0; seed < n; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			r := rand.New(rand.NewSource(int64(seed)*65537 + 1))
+			img := randomProgram(r, fmt.Sprintf("req%d", seed))
+			for _, cfg := range schedEquivConfigs() {
+				tr, err := arch.RunTrace(img, cfg.MaxInsts)
+				if err != nil {
+					t.Fatalf("%s: trace: %v", cfg.Name, err)
+				}
+				stream, err := replay.FromTrace(img, tr)
+				if err != nil {
+					t.Fatalf("%s: stream: %v", cfg.Name, err)
+				}
+				lockstep, err := NewWithTrace(cfg, img, tr)
+				if err != nil {
+					t.Fatalf("%s: lockstep: %v", cfg.Name, err)
+				}
+				want, err := lockstep.Run()
+				if err != nil {
+					t.Fatalf("%s: lockstep: %v", cfg.Name, err)
+				}
+				replayed, err := NewWithTrace(cfg, img, stream.All())
+				if err != nil {
+					t.Fatalf("%s: replay: %v", cfg.Name, err)
+				}
+				got, err := replayed.Run()
+				if err != nil {
+					t.Fatalf("%s: replay: %v", cfg.Name, err)
+				}
+				if *got != *want {
+					t.Errorf("%s: replay diverged from lockstep\nlockstep: %+v\nreplay:   %+v", cfg.Name, *want, *got)
+				}
+			}
+		})
+	}
+}
+
+// TestReplayEquivalenceResetReuse alternates lockstep and replay sources on
+// one recycled pipeline, the way a mixed-mode harness pool would, so source
+// state from one mode can never leak into the other.
+func TestReplayEquivalenceResetReuse(t *testing.T) {
+	r := rand.New(rand.NewSource(424243))
+	img := randomProgram(r, "reqreuse")
+	cfg := schedEquivConfigs()[0]
+	tr, err := arch.RunTrace(img, cfg.MaxInsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := replay.FromTrace(img, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewWithTrace(cfg, img, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := *want
+	for i := 0; i < 3; i++ {
+		for _, src := range []ReplaySource{stream.All(), tr} {
+			if err := p.Reset(cfg, img, src); err != nil {
+				t.Fatal(err)
+			}
+			got, err := p.Run()
+			if err != nil {
+				t.Fatalf("round %d: %v", i, err)
+			}
+			if *got != ref {
+				t.Fatalf("round %d: stats diverged after source swap\nwant: %+v\ngot:  %+v", i, ref, *got)
+			}
+		}
+	}
+}

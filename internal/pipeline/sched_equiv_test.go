@@ -114,7 +114,7 @@ func TestSchedulerEquivalenceResetReuse(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := p.Reset(c, fresh.img, fresh.trace); err != nil {
+			if err := p.Reset(c, fresh.img, fresh.src); err != nil {
 				t.Fatal(err)
 			}
 			got, err := p.Run()

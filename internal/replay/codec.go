@@ -1,0 +1,158 @@
+package replay
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// The serialized stream format, versioned and CRC'd like internal/snapshot's
+// checkpoint format. All integers are little-endian:
+//
+//	magic    [4]byte  "SFRS"
+//	version  uint16   currently 1
+//	flags    uint8    bit 0: program halted within the span
+//	reserved uint8    0
+//	nameLen  uint16   workload name length, then that many name bytes
+//	codeBase uint64
+//	n        uint32   record count
+//	nAnchors uint32   snapshot-anchor count
+//	anchors  nAnchors × uint64
+//	codeIdx  n × uint32
+//	val      n × uint64
+//	addr     n × uint64
+//	taken    ceil(n/64) × uint64
+//	crc      uint32   IEEE CRC-32 of every preceding byte
+//
+// The predecode table is deliberately not serialized: it is a pure function
+// of the program image, and Bind rebuilds (or shares) it while verifying the
+// stream actually belongs to that image. Equal streams encode to equal
+// bytes, the property the content-addressed stores dedup on.
+
+// Version is the current stream format version; Decode rejects any other.
+const Version = 1
+
+var magic = [4]byte{'S', 'F', 'R', 'S'}
+
+// headerLen is the fixed-size portion before the workload name.
+const headerLen = 4 + 2 + 1 + 1 + 2
+
+// Encode serializes the stream's dynamic columns into the canonical binary
+// form.
+func (s *Stream) Encode() []byte {
+	n := s.Len()
+	words := (n + 63) / 64
+	size := headerLen + len(s.Workload) + 8 + 4 + 4 +
+		8*len(s.Anchors) + 4*n + 8*n + 8*n + 8*words + 4
+	b := make([]byte, 0, size)
+	b = append(b, magic[:]...)
+	b = binary.LittleEndian.AppendUint16(b, Version)
+	var flags uint8
+	if s.Halted {
+		flags |= 1
+	}
+	b = append(b, flags, 0)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s.Workload)))
+	b = append(b, s.Workload...)
+	b = binary.LittleEndian.AppendUint64(b, s.CodeBase)
+	b = binary.LittleEndian.AppendUint32(b, uint32(n))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s.Anchors)))
+	for _, a := range s.Anchors {
+		b = binary.LittleEndian.AppendUint64(b, a)
+	}
+	for _, v := range s.CodeIdx {
+		b = binary.LittleEndian.AppendUint32(b, v)
+	}
+	for _, v := range s.Val {
+		b = binary.LittleEndian.AppendUint64(b, v)
+	}
+	for _, v := range s.Addr {
+		b = binary.LittleEndian.AppendUint64(b, v)
+	}
+	for i := 0; i < words; i++ {
+		var w uint64
+		if i < len(s.Taken) {
+			w = s.Taken[i]
+		}
+		b = binary.LittleEndian.AppendUint64(b, w)
+	}
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+}
+
+// Decode parses an encoded stream, verifying magic, version, CRC, and
+// column-length consistency. The returned stream is unbound — call Bind with
+// the program image before replaying it. Decode never panics on malformed
+// input (the fuzz target pins this).
+func Decode(b []byte) (*Stream, error) {
+	if len(b) < headerLen+8+4+4+4 {
+		return nil, fmt.Errorf("replay: truncated stream (%d bytes)", len(b))
+	}
+	if [4]byte(b[:4]) != magic {
+		return nil, fmt.Errorf("replay: bad magic %x", b[:4])
+	}
+	if v := binary.LittleEndian.Uint16(b[4:]); v != Version {
+		return nil, fmt.Errorf("replay: format version %d, this build reads only %d", v, Version)
+	}
+	body, tail := b[:len(b)-4], b[len(b)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("replay: CRC mismatch (stored %#x, computed %#x)", want, got)
+	}
+	flags := b[6]
+	if flags&^1 != 0 || b[7] != 0 {
+		return nil, fmt.Errorf("replay: unknown flags %#x", flags)
+	}
+	nameLen := int(binary.LittleEndian.Uint16(b[8:]))
+	r := body[headerLen:]
+	if len(r) < nameLen+8+4+4 {
+		return nil, fmt.Errorf("replay: truncated after header")
+	}
+	s := &Stream{
+		Workload: string(r[:nameLen]),
+		Halted:   flags&1 != 0,
+	}
+	r = r[nameLen:]
+	s.CodeBase = binary.LittleEndian.Uint64(r)
+	n := int(binary.LittleEndian.Uint32(r[8:]))
+	nAnchors := int(binary.LittleEndian.Uint32(r[12:]))
+	r = r[16:]
+	words := (n + 63) / 64
+	want := 8*nAnchors + 4*n + 8*n + 8*n + 8*words
+	if len(r) != want {
+		return nil, fmt.Errorf("replay: %d records + %d anchors declared, %d bytes of columns (want %d)", n, nAnchors, len(r), want)
+	}
+	if nAnchors > 0 {
+		s.Anchors = make([]uint64, nAnchors)
+		for i := range s.Anchors {
+			s.Anchors[i] = binary.LittleEndian.Uint64(r)
+			r = r[8:]
+		}
+	}
+	s.CodeIdx = make([]uint32, n)
+	for i := range s.CodeIdx {
+		s.CodeIdx[i] = binary.LittleEndian.Uint32(r)
+		r = r[4:]
+	}
+	s.Val = make([]uint64, n)
+	for i := range s.Val {
+		s.Val[i] = binary.LittleEndian.Uint64(r)
+		r = r[8:]
+	}
+	s.Addr = make([]uint64, n)
+	for i := range s.Addr {
+		s.Addr[i] = binary.LittleEndian.Uint64(r)
+		r = r[8:]
+	}
+	s.Taken = make([]uint64, words)
+	for i := range s.Taken {
+		s.Taken[i] = binary.LittleEndian.Uint64(r)
+		r = r[8:]
+	}
+	// Canonical form: bits past the last record are zero, so equal streams
+	// have equal encodings (the property content addressing dedups on).
+	if rem := n & 63; rem != 0 && words > 0 {
+		if s.Taken[words-1]>>uint(rem) != 0 {
+			return nil, fmt.Errorf("replay: taken bitset has bits past the last record")
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,68 @@
+package replay
+
+import (
+	"bytes"
+	"testing"
+
+	"sfcmdt/internal/workload"
+)
+
+func testStream(t *testing.T, span uint64) *Stream {
+	t.Helper()
+	w, ok := workload.Get("gzip")
+	if !ok {
+		t.Fatal("workload gzip missing")
+	}
+	s, err := Materialize(w.Build(), span)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Anchors = []uint64{0, span / 2}
+	return s
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := testStream(t, 5_000)
+	b := s.Encode()
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	assertStreamsEqual(t, "gzip", got, s)
+	w, _ := workload.Get("gzip")
+	img := w.Build()
+	if err := got.Bind(img, nil); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	for i := 0; i < s.Len(); i++ {
+		if got.RecordAt(i) != s.RecordAt(i) {
+			t.Fatalf("record %d differs after decode", i)
+		}
+	}
+	// Deterministic canonical encoding: equal streams, equal bytes.
+	if !bytes.Equal(b, got.Encode()) {
+		t.Fatal("re-encoding a decoded stream changed the bytes")
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	good := testStream(t, 1_000).Encode()
+
+	mutate := func(name string, f func(b []byte) []byte) {
+		b := f(append([]byte(nil), good...))
+		if _, err := Decode(b); err == nil {
+			t.Errorf("%s: Decode accepted malformed input", name)
+		}
+	}
+	mutate("empty", func(b []byte) []byte { return nil })
+	mutate("bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b })
+	mutate("bad version", func(b []byte) []byte { b[4] = 99; return b })
+	mutate("unknown flags", func(b []byte) []byte {
+		b[6] |= 0x80
+		return b // CRC now also wrong, either rejection is fine
+	})
+	mutate("truncated", func(b []byte) []byte { return b[:len(b)/2] })
+	mutate("flipped column byte", func(b []byte) []byte { b[len(b)/2] ^= 1; return b })
+	mutate("flipped crc", func(b []byte) []byte { b[len(b)-1] ^= 1; return b })
+	mutate("extra tail", func(b []byte) []byte { return append(b, 0) })
+}

@@ -1,0 +1,37 @@
+package replay
+
+import (
+	"testing"
+
+	"sfcmdt/internal/workload"
+)
+
+// FuzzDecode pins the decoder's no-panic guarantee on arbitrary bytes — the
+// property that makes on-disk stream stores safe to share between processes
+// and machines. Accepted inputs must re-encode canonically.
+func FuzzDecode(f *testing.F) {
+	w, _ := workload.Get("gzip")
+	if s, err := Materialize(w.Build(), 500); err == nil {
+		f.Add(s.Encode())
+		s.Anchors = []uint64{100, 200}
+		f.Add(s.Encode())
+	}
+	f.Add([]byte("SFRS"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := Decode(b)
+		if err != nil {
+			return
+		}
+		// A decoded stream must survive an encode/decode round trip with
+		// identical bytes (canonical form).
+		b2 := s.Encode()
+		s2, err := Decode(b2)
+		if err != nil {
+			t.Fatalf("re-decoding a decoded stream failed: %v", err)
+		}
+		if string(s2.Encode()) != string(b2) {
+			t.Fatal("canonical encoding is not a fixed point")
+		}
+	})
+}

@@ -1,0 +1,335 @@
+// Package replay factors the functional half of a detailed simulation out
+// into a compact, reusable reference stream: one architectural pass per
+// (workload, args, instruction span) produces a columnar record of the
+// correct-path dynamic instruction stream — static code indices, a merged
+// value column (load results, store data, or destination values), effective
+// addresses (doubling as indirect-jump targets), branch outcomes as a bitset,
+// and per-interval snapshot anchors. The detailed pipeline then *replays*
+// the stream instead of running the golden model in lockstep: every answer
+// the pipeline asks of the stream (fetch-time branch outcomes and next-PCs,
+// retire-time validation records) is reconstructed bit-identically to the
+// arch.Trace it was derived from, so timing results are unchanged while the
+// functional pass is paid once per workload instead of once per grid point.
+//
+// The columnar form is ~20 bytes per instruction against arch.Record's ~96,
+// and it serializes (see codec.go) into content-addressed stores (store.go)
+// mirroring internal/snapshot, so sweeps share streams in process via Cache
+// (cache.go) and across processes via a DiskStore.
+package replay
+
+import (
+	"fmt"
+
+	"sfcmdt/internal/arch"
+	"sfcmdt/internal/isa"
+	"sfcmdt/internal/prog"
+)
+
+// Stream is the columnar reference stream of one correct-path execution.
+// Column i describes the i-th retired instruction:
+//
+//   - CodeIdx[i] is its static code index (PC = CodeBase + 4*CodeIdx[i]),
+//     which keys the shared predecode table for all static properties
+//     (opcode, registers, memory class and width, branch class).
+//   - Val[i] is the one dynamic value the instruction produced: the
+//     extended load result for loads (equal to the destination value when
+//     the load has a destination), the masked store data for stores, and
+//     the destination value otherwise (zero when there is no destination).
+//   - Addr[i] is the effective address for memory operations; for JALR —
+//     which has no memory operand but an unpredictable target — it holds
+//     the jump target, so the link value can live in Val.
+//   - Bit i of Taken is the branch outcome (set for taken conditional
+//     branches and always for jumps, mirroring arch.Record.Taken).
+//
+// Everything else arch.Record carries is static and reconstructed from the
+// predecode table bound by Bind; RecordAt proves the reconstruction exact.
+type Stream struct {
+	Workload string // image name, pinned so a stream can't replay the wrong program
+	CodeBase uint64
+	Halted   bool // the program executed HALT within the span
+
+	CodeIdx []uint32
+	Val     []uint64
+	Addr    []uint64
+	Taken   []uint64 // bitset over records
+
+	// Anchors lists the retired-instruction offsets at which architectural
+	// checkpoints were captured while this stream was materialized (the
+	// snapshot-store keys a sampled sweep can restore from). Empty for
+	// whole-program streams materialized without a sampling plan.
+	Anchors []uint64
+
+	// dec is the shared predecode table for the bound image; nil until
+	// Bind (a decoded stream arrives unbound — the codec stores only
+	// dynamic columns).
+	dec []isa.DecodedInst
+}
+
+// Len returns the number of records in the stream.
+func (s *Stream) Len() int { return len(s.CodeIdx) }
+
+// taken reports record i's branch outcome.
+func (s *Stream) taken(i int) bool {
+	return s.Taken[i>>6]&(1<<uint(i&63)) != 0
+}
+
+func (s *Stream) setTaken(i int) {
+	s.Taken[i>>6] |= 1 << uint(i&63)
+}
+
+// Bind attaches (and validates the stream against) the program image the
+// stream was materialized from: the name and code base must match, and every
+// code index must fall inside the code segment. dec, when non-nil, must be
+// the image's predecode table (isa.Predecode(img.Code)) and is shared rather
+// than rebuilt — the harness passes each workload's existing table.
+func (s *Stream) Bind(img *prog.Image, dec []isa.DecodedInst) error {
+	if img.Name != s.Workload {
+		return fmt.Errorf("replay: stream for workload %q bound against image %q", s.Workload, img.Name)
+	}
+	if img.CodeBase != s.CodeBase {
+		return fmt.Errorf("replay: stream code base %#x, image has %#x", s.CodeBase, img.CodeBase)
+	}
+	for i, idx := range s.CodeIdx {
+		if int(idx) >= len(img.Code) {
+			return fmt.Errorf("replay: record %d: code index %d outside %d-instruction segment", i, idx, len(img.Code))
+		}
+	}
+	if len(dec) != len(img.Code) {
+		dec = isa.Predecode(img.Code)
+	}
+	s.dec = dec
+	return nil
+}
+
+// append adds one retirement record to the columns.
+func (s *Stream) append(rec *arch.Record) error {
+	pc := rec.PC
+	if pc < s.CodeBase || (pc-s.CodeBase)%4 != 0 {
+		return fmt.Errorf("replay: record PC %#x not in code segment at %#x", pc, s.CodeBase)
+	}
+	idx := (pc - s.CodeBase) >> 2
+	if idx > 1<<32-1 {
+		return fmt.Errorf("replay: code index %d overflows the stream's 32-bit column", idx)
+	}
+	i := len(s.CodeIdx)
+	s.CodeIdx = append(s.CodeIdx, uint32(idx))
+	switch {
+	case rec.IsLoad:
+		s.Val = append(s.Val, rec.LoadVal)
+	case rec.IsStore:
+		s.Val = append(s.Val, rec.StoreVal)
+	default:
+		s.Val = append(s.Val, rec.DestVal)
+	}
+	if rec.Inst.Op == isa.OpJalr {
+		s.Addr = append(s.Addr, rec.NextPC)
+	} else {
+		s.Addr = append(s.Addr, rec.Addr)
+	}
+	if i>>6 >= len(s.Taken) {
+		s.Taken = append(s.Taken, 0)
+	}
+	if rec.Taken {
+		s.setTaken(i)
+	}
+	return nil
+}
+
+// FromTrace converts a golden trace into a stream, sharing the trace's
+// predecode table. The conversion is lossless for every field the pipeline
+// consumes; ExpandTrace is its inverse and the package tests pin the
+// round trip record-for-record.
+func FromTrace(img *prog.Image, t *arch.Trace) (*Stream, error) {
+	s := newStream(img, t.Len())
+	for i := range t.Recs {
+		if err := s.append(&t.Recs[i]); err != nil {
+			return nil, err
+		}
+	}
+	s.Halted = t.Halted
+	if err := s.Bind(img, t.Dec); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func newStream(img *prog.Image, capHint int) *Stream {
+	return &Stream{
+		Workload: img.Name,
+		CodeBase: img.CodeBase,
+		CodeIdx:  make([]uint32, 0, capHint),
+		Val:      make([]uint64, 0, capHint),
+		Addr:     make([]uint64, 0, capHint),
+		Taken:    make([]uint64, 0, (capHint+63)/64),
+	}
+}
+
+// Materialize runs the functional model for at most span instructions and
+// returns the stream directly, without building the intermediate AoS trace —
+// this is the one functional pass a sweep pays per workload.
+func Materialize(img *prog.Image, span uint64) (*Stream, error) {
+	m := arch.New(img)
+	s, err := materializeFrom(m, span, img)
+	if err != nil {
+		return nil, err
+	}
+	if s.Len() == 0 {
+		return nil, fmt.Errorf("replay: %s: empty stream", img.Name)
+	}
+	return s, nil
+}
+
+// MaterializeFrom continues a warm machine (restored from a checkpoint or
+// advanced by fast-forward) for up to n further instructions, the streaming
+// counterpart of arch.RunTraceFrom. An empty stream is legitimate here: a
+// halted machine yields zero records.
+func MaterializeFrom(m *arch.Machine, n uint64) (*Stream, error) {
+	return materializeFrom(m, n, m.Img)
+}
+
+func materializeFrom(m *arch.Machine, n uint64, img *prog.Image) (*Stream, error) {
+	s := newStream(img, int(min(n, 1<<20)))
+	target := m.Count + n
+	for m.Count < target && !m.Halted {
+		rec, err := m.Step()
+		if err != nil {
+			return nil, fmt.Errorf("replay: %s: after %d insts: %w", img.Name, m.Count, err)
+		}
+		if err := s.append(&rec); err != nil {
+			return nil, err
+		}
+	}
+	s.Halted = m.Halted
+	if err := s.Bind(img, nil); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// PCAt returns record i's program counter.
+func (s *Stream) PCAt(i int) uint64 { return s.CodeBase + uint64(s.CodeIdx[i])*4 }
+
+// TakenAt returns record i's branch outcome.
+func (s *Stream) TakenAt(i int) bool { return s.taken(i) }
+
+// NextPCAt derives record i's architectural next PC from the columns,
+// mirroring arch.Machine.Step exactly: fall-through for straight-line code,
+// the immediate-relative target for taken branches and JAL, the Addr column
+// for JALR, and the parked PC for HALT.
+func (s *Stream) NextPCAt(i int) uint64 {
+	d := &s.dec[s.CodeIdx[i]]
+	pc := s.PCAt(i)
+	switch {
+	case d.IsBranch:
+		if s.taken(i) {
+			return pc + 4 + uint64(int64(d.Inst.Imm))*4
+		}
+		return pc + 4
+	case d.Inst.Op == isa.OpJal:
+		return pc + 4 + uint64(int64(d.Inst.Imm))*4
+	case d.Inst.Op == isa.OpJalr:
+		return s.Addr[i]
+	case d.Inst.Op == isa.OpHalt:
+		return pc
+	default:
+		return pc + 4
+	}
+}
+
+// RecordAt reconstructs record i as the golden model produced it. The
+// round trip (arch.Record → columns → RecordAt) is exact for every field,
+// so replay-mode retirement validation is precisely as strong as lockstep
+// validation against the original trace.
+func (s *Stream) RecordAt(i int) arch.Record {
+	d := &s.dec[s.CodeIdx[i]]
+	pc := s.PCAt(i)
+	rec := arch.Record{PC: pc, Inst: d.Inst, NextPC: pc + 4}
+	if d.HasDest {
+		rec.HasDest, rec.Dest, rec.DestVal = true, d.DestReg, s.Val[i]
+	}
+	switch {
+	case d.IsLoad:
+		rec.IsLoad, rec.Addr, rec.MemSize, rec.LoadVal = true, s.Addr[i], d.MemSize, s.Val[i]
+	case d.IsStore:
+		rec.IsStore, rec.Addr, rec.MemSize, rec.StoreVal = true, s.Addr[i], d.MemSize, s.Val[i]
+	case d.IsBranch:
+		rec.IsBranch = true
+		if s.taken(i) {
+			rec.Taken = true
+			rec.NextPC = pc + 4 + uint64(int64(d.Inst.Imm))*4
+		}
+	case d.Inst.Op == isa.OpJal:
+		rec.IsBranch, rec.Taken = true, true
+		rec.NextPC = pc + 4 + uint64(int64(d.Inst.Imm))*4
+	case d.Inst.Op == isa.OpJalr:
+		rec.IsBranch, rec.Taken = true, true
+		rec.NextPC = s.Addr[i]
+	case d.Inst.Op == isa.OpHalt:
+		rec.Halt = true
+		rec.NextPC = pc
+	}
+	return rec
+}
+
+// Decoded returns the bound predecode table (nil before Bind).
+func (s *Stream) Decoded() []isa.DecodedInst { return s.dec }
+
+// ExpandTrace reconstructs the full AoS golden trace from the stream — the
+// inverse of FromTrace, used by the equivalence tests and by tools that want
+// record-level output from a stored stream.
+func (s *Stream) ExpandTrace() *arch.Trace {
+	t := &arch.Trace{
+		Recs:   make([]arch.Record, s.Len()),
+		Halted: s.Halted,
+		Dec:    s.dec,
+	}
+	for i := range t.Recs {
+		t.Recs[i] = s.RecordAt(i)
+	}
+	return t
+}
+
+// View returns a prefix view of at most span records — the ReplaySource a
+// pipeline bounded by a span-instruction budget consumes. One stream
+// materialized at the largest budget serves every smaller budget: a
+// deterministic program's first n records do not depend on how far the
+// trace ran past them.
+func (s *Stream) View(span uint64) *View {
+	n := s.Len()
+	if span < uint64(n) {
+		n = int(span)
+	}
+	return &View{s: s, n: n}
+}
+
+// All returns the whole-stream view.
+func (s *Stream) All() *View { return &View{s: s, n: s.Len()} }
+
+// View is a bounded prefix of a Stream; it implements pipeline.ReplaySource.
+// Views are cheap values — every config of a sweep gets its own over the one
+// shared stream.
+type View struct {
+	s *Stream
+	n int
+}
+
+// Stream returns the underlying stream.
+func (v *View) Stream() *Stream { return v.s }
+
+// Len returns the number of records in the view.
+func (v *View) Len() int { return v.n }
+
+// PCAt returns record i's program counter.
+func (v *View) PCAt(i int) uint64 { return v.s.PCAt(i) }
+
+// TakenAt returns record i's branch outcome.
+func (v *View) TakenAt(i int) bool { return v.s.taken(i) }
+
+// NextPCAt returns record i's architectural next PC.
+func (v *View) NextPCAt(i int) uint64 { return v.s.NextPCAt(i) }
+
+// RecordAt reconstructs record i's full retirement record.
+func (v *View) RecordAt(i int) arch.Record { return v.s.RecordAt(i) }
+
+// Decoded returns the shared predecode table.
+func (v *View) Decoded() []isa.DecodedInst { return v.s.Decoded() }

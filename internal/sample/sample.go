@@ -24,6 +24,7 @@ import (
 	"sfcmdt/internal/metrics"
 	"sfcmdt/internal/pipeline"
 	"sfcmdt/internal/prog"
+	"sfcmdt/internal/replay"
 	"sfcmdt/internal/snapshot"
 )
 
@@ -74,13 +75,14 @@ func (p Plan) String() string {
 }
 
 // Interval is one prepared measurement point: the warm architectural state
-// at the start of the detailed portion and the golden trace of the Warm +
-// Measure instructions that follow it. Both are read-only after preparation
-// and shared across configurations.
+// at the start of the detailed portion and the reference stream of the Warm +
+// Measure instructions that follow it — a compact columnar replay stream by
+// default, the golden AoS trace under PrepareLockstep. Both are read-only
+// after preparation and shared across configurations.
 type Interval struct {
 	Offset uint64 // instructions retired before the detailed portion starts
 	Start  *pipeline.StartState
-	Trace  *arch.Trace
+	Src    pipeline.ReplaySource
 }
 
 // Intervals is a prepared plan for one workload.
@@ -103,7 +105,22 @@ type Intervals struct {
 // checkpointed on miss, so repeated preparations skip the functional
 // fast-forward. Preparation stops early if the program halts; at least one
 // interval must be preparable.
+//
+// Each interval's detailed portion is held as a compact columnar replay
+// stream (~4-5× smaller than the AoS trace it is converted from); use
+// PrepareLockstep to keep the golden traces instead.
 func Prepare(img *prog.Image, plan Plan, store snapshot.Store, args string) (*Intervals, error) {
+	return prepare(img, plan, store, args, false)
+}
+
+// PrepareLockstep is Prepare with the golden-model AoS traces retained as the
+// interval sources — the lockstep-oracle mode, pinned bit-identical to replay
+// mode by the sampled equivalence tests.
+func PrepareLockstep(img *prog.Image, plan Plan, store snapshot.Store, args string) (*Intervals, error) {
+	return prepare(img, plan, store, args, true)
+}
+
+func prepare(img *prog.Image, plan Plan, store snapshot.Store, args string, lockstep bool) (*Intervals, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
@@ -146,7 +163,16 @@ func Prepare(img *prog.Image, plan Plan, store snapshot.Store, args string) (*In
 		if tr.Len() == 0 {
 			break
 		}
-		ivs.Ivs = append(ivs.Ivs, Interval{Offset: start, Start: st, Trace: tr})
+		var src pipeline.ReplaySource = tr
+		if !lockstep {
+			s, err := replay.FromTrace(img, tr)
+			if err != nil {
+				return nil, err
+			}
+			s.Anchors = []uint64{start}
+			src = s.All()
+		}
+		ivs.Ivs = append(ivs.Ivs, Interval{Offset: start, Start: st, Src: src})
 	}
 	if len(ivs.Ivs) == 0 {
 		return nil, fmt.Errorf("sample: %s: program too short for plan %s", img.Name, plan)
@@ -198,9 +224,9 @@ func (ivs *Intervals) Run(ctx context.Context, cfg pipeline.Config) (*Result, er
 		iv := &ivs.Ivs[i]
 		var err error
 		if p == nil {
-			p, err = pipeline.NewFrom(cfg, ivs.Img, iv.Trace, iv.Start)
+			p, err = pipeline.NewFrom(cfg, ivs.Img, iv.Src, iv.Start)
 		} else {
-			err = p.ResetFrom(cfg, ivs.Img, iv.Trace, iv.Start)
+			err = p.ResetFrom(cfg, ivs.Img, iv.Src, iv.Start)
 		}
 		if err != nil {
 			return nil, err

@@ -217,11 +217,16 @@ func TestPrepareUsesStore(t *testing.T) {
 	if second.Restored != plan.Intervals || second.FFInsts != 0 {
 		t.Fatalf("second prepare: restored=%d (want %d), ff=%d (want 0)", second.Restored, plan.Intervals, second.FFInsts)
 	}
-	// And the prepared intervals are equivalent: same offsets, same traces.
+	// And the prepared intervals are equivalent: same offsets, same streams.
 	for i := range first.Ivs {
-		if first.Ivs[i].Offset != second.Ivs[i].Offset ||
-			!reflect.DeepEqual(first.Ivs[i].Trace.Recs, second.Ivs[i].Trace.Recs) {
+		a, b := first.Ivs[i].Src, second.Ivs[i].Src
+		if first.Ivs[i].Offset != second.Ivs[i].Offset || a.Len() != b.Len() {
 			t.Fatalf("interval %d differs between live and restored preparation", i)
+		}
+		for j := 0; j < a.Len(); j++ {
+			if a.RecordAt(j) != b.RecordAt(j) {
+				t.Fatalf("interval %d record %d differs between live and restored preparation", i, j)
+			}
 		}
 	}
 }
@@ -269,5 +274,43 @@ func TestFastForwardSpeedup(t *testing.T) {
 	t.Logf("full %v, ff+detailed %v: %.1fx", fullDur, sampledDur, speedup)
 	if speedup < minSpeedup {
 		t.Fatalf("fast-forward speedup %.1fx below %.0fx (full %v, sampled %v)", speedup, minSpeedup, fullDur, sampledDur)
+	}
+}
+
+// TestSampledLockstepReplayIdentical pins sampled-mode replay to the
+// lockstep oracle: the same plan prepared as columnar streams (Prepare) and
+// as golden AoS traces (PrepareLockstep), measured under the same
+// configurations, must aggregate to identical statistics interval for
+// interval.
+func TestSampledLockstepReplayIdentical(t *testing.T) {
+	plan := sample.Plan{FastForward: 4_000, Warm: 500, Measure: 1_000, Intervals: 3}
+	cfgs := []pipeline.Config{
+		harness.BaselineConfig(harness.MDTSFCEnf, 0),
+		harness.BaselineConfig(harness.LSQ48x32, 0),
+	}
+	for _, name := range []string{"gzip", "mcf"} {
+		img := image(t, name).Img
+		rep, err := sample.Prepare(img, plan, nil, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lock, err := sample.PrepareLockstep(img, plan, nil, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range cfgs {
+			got, err := rep.Run(context.Background(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := lock.Run(context.Background(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *got.Measured != *want.Measured || !reflect.DeepEqual(got.IntervalIPC, want.IntervalIPC) {
+				t.Errorf("%s under %s: sampled replay diverged from lockstep\nreplay:   %+v\nlockstep: %+v",
+					name, cfg.Name, *got.Measured, *want.Measured)
+			}
+		}
 	}
 }

@@ -17,12 +17,14 @@ const maxBodyBytes = 1 << 20
 //
 //	POST /v1/run    one simulation        -> Result JSON (429 on overload)
 //	POST /v1/sweep  a grid of simulations -> NDJSON Result stream + summary
+//	GET  /v1/stats  serving counters      -> Snapshot JSON
 //	GET  /healthz   liveness              -> "ok" / 503 "draining"
-//	GET  /statsz    serving counters      -> Snapshot JSON
+//	GET  /statsz    serving counters      -> Snapshot JSON (legacy alias)
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/stats", s.handleStatsz)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	return mux

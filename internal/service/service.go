@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"sfcmdt/internal/harness"
+	"sfcmdt/internal/replay"
 	"sfcmdt/internal/snapshot"
 	"sfcmdt/internal/workload"
 )
@@ -64,6 +65,16 @@ type Config struct {
 	// snapshot.DiskStore the fast-forward warmup survives restarts and is
 	// shared across processes; nil keeps checkpoints in process memory.
 	Checkpoints snapshot.Store
+	// Streams optionally backs the service-wide replay-stream cache with a
+	// persistent store (replay.DiskStore), so reference streams survive
+	// restarts the way checkpoints do. nil keeps streams in process memory;
+	// the cache itself always exists and is shared by every runner, so all
+	// points of a sweep — and all budgets that fit a materialized span —
+	// reuse one functional pass per workload.
+	Streams replay.Store
+	// Lockstep switches backend runs to the golden-model lockstep oracle
+	// instead of replay streams (see harness.Runner.Lockstep).
+	Lockstep bool
 	// Backend overrides the simulator-backed executor (tests only).
 	Backend Backend
 }
@@ -144,6 +155,11 @@ type Service struct {
 	runners   map[uint64]*harness.Runner
 	samplers  map[string]*harness.Runner
 
+	// replay is the service-wide stream cache every runner shares: runners
+	// are per-budget, but the cache's prefix reuse means one materialized
+	// stream serves every budget it covers.
+	replay *replay.Cache
+
 	// Serving counters (see Snapshot for meanings).
 	nRequests  atomic.Uint64
 	nCacheHits atomic.Uint64
@@ -165,6 +181,7 @@ func New(cfg Config) *Service {
 		slots:    make(chan struct{}, cfg.Workers),
 		runners:  make(map[uint64]*harness.Runner),
 		samplers: make(map[string]*harness.Runner),
+		replay:   replay.NewCache(cfg.Streams),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.backend = cfg.Backend
@@ -318,6 +335,8 @@ func (s *Service) runnerFor(insts uint64) *harness.Runner {
 	r, ok := s.runners[insts]
 	if !ok {
 		r = harness.NewRunner(insts)
+		r.Replay = s.replay
+		r.Lockstep = s.cfg.Lockstep
 		s.runners[insts] = r
 	}
 	return r
@@ -335,6 +354,7 @@ func (s *Service) samplerFor(sp SamplingSpec) *harness.Runner {
 		plan := sp.plan()
 		r.Sampling = &plan
 		r.Checkpoints = s.cfg.Checkpoints
+		r.Lockstep = s.cfg.Lockstep
 		s.samplers[sp.key()] = r
 	}
 	return r
@@ -424,6 +444,16 @@ type Snapshot struct {
 	// the serving-side analogue of the benchmark harness's simulated-MIPS
 	// numerator.
 	TotalRetired uint64 `json:"total_retired"`
+
+	// Replay-substrate counters (the service-wide stream cache): how many
+	// full-detail runs were served from a resident stream, loaded from the
+	// backing stream store, or paid a fresh functional pass. A sweep's
+	// health signature is Materialized == distinct workloads.
+	ReplayHits         uint64 `json:"replay_hits"`
+	ReplayStoreHits    uint64 `json:"replay_store_hits"`
+	ReplayMaterialized uint64 `json:"replay_materialized"`
+	// Lockstep reports the oracle escape hatch is on (streams unused).
+	Lockstep bool `json:"lockstep"`
 }
 
 // Stats returns a consistent snapshot of the serving counters.
@@ -448,6 +478,11 @@ func (s *Service) Stats() Snapshot {
 	snap.Rejected = s.nRejected.Load()
 	snap.Canceled = s.nCanceled.Load()
 	snap.Failed = s.nFailed.Load()
+	rs := s.replay.Stats()
+	snap.ReplayHits = rs.Hits
+	snap.ReplayStoreHits = rs.StoreHits
+	snap.ReplayMaterialized = rs.Materialized
+	snap.Lockstep = s.cfg.Lockstep
 	s.runnersMu.Lock()
 	for _, r := range s.runners {
 		snap.TotalRetired += r.TotalRetired()

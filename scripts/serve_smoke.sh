@@ -6,6 +6,9 @@
 #   - coalescing + the result cache serve at least half the requests
 #     without a backend run (sfcload -min-hit-rate 0.5 exits nonzero
 #     otherwise),
+#   - a /v1/sweep grid shares replay streams: W workloads x M mems pay
+#     exactly W functional passes (the /v1/stats replay_materialized
+#     counter moves by W, not W*M),
 #   - SIGTERM drains cleanly (server exits 0 and prints its shutdown line).
 # Run via `make serve-smoke`; part of `make ci`.
 set -eu
@@ -52,6 +55,20 @@ echo "serve-smoke: server up at $ADDR"
 # else must come from the cache or coalesce onto an in-flight run.
 "$TMP/sfcload" -addr "$ADDR" -c 4 -n 40 -insts 2000 \
     -workloads gzip,mcf -min-hit-rate 0.5
+
+# Sweep reuse: a 6-point grid (3 workloads x 2 memory subsystems) at a
+# fresh budget must materialize exactly 3 reference streams — one
+# functional pass per workload, shared by every configuration.
+M0=$("$TMP/sfcload" -addr "$ADDR" -stats | awk '$1=="replay_materialized"{print $2}')
+"$TMP/sfcload" -addr "$ADDR" -sweep -insts 3000 \
+    -workloads gzip,mcf,swim -mems mdtsfc,lsq >"$TMP/sweep.out"
+M1=$("$TMP/sfcload" -addr "$ADDR" -stats | awk '$1=="replay_materialized"{print $2}')
+if [ "$((M1 - M0))" -ne 3 ]; then
+    echo "serve-smoke: 6-point sweep materialized $((M1 - M0)) streams, want 3 (one per workload)" >&2
+    cat "$TMP/sweep.out" >&2
+    exit 1
+fi
+echo "serve-smoke: sweep reuse OK (6-point grid, 3 functional passes)"
 
 echo "serve-smoke: sending SIGTERM"
 kill -TERM "$SRV_PID"
