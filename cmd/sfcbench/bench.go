@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -362,6 +363,55 @@ func benchSnapshotRoundtrip(uint64) (benchResult, error) {
 }
 
 // ---------------------------------------------------------------------------
+// Sampled-run entries (DESIGN.md §11): one prepared K-interval plan measured
+// end to end — serially (the oracle the parallel pool must match
+// bit-for-bit) and with the interval-parallel pool. One op = one full
+// sampled measurement of all K intervals; MIPS counts the detailed
+// instructions (warm + measured) that run per op. Preparation (functional
+// pass, checkpoint capture) happens once, off the clock, exactly as a sweep
+// amortizes it across configurations. sample-run-serial is fully gated;
+// sample-run-parallel's timing scales with the host's core count (parity
+// with serial on a 1-core box, ~min(K, cores)x faster on a multicore), so
+// it is machineDependent — reported, never gated.
+
+func benchSampleRun(name string, parallel int) (benchResult, error) {
+	w, ok := workload.Get("mcf")
+	if !ok {
+		return benchResult{}, fmt.Errorf("workload mcf not registered")
+	}
+	plan := sample.Plan{FastForward: 5_000, Warm: 1_000, Measure: 2_000, Intervals: 8}
+	ivs, err := sample.Prepare(w.Build(), plan, nil, "")
+	if err != nil {
+		return benchResult{}, err
+	}
+	cfg := harness.BaselineConfig(harness.MDTSFCEnf, plan.Warm+plan.Measure)
+	var detailed uint64
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := ivs.RunParallel(context.Background(), cfg, parallel, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			detailed = r.WarmInsts + r.Measured.Retired
+		}
+	})
+	row := fromResult(name, res)
+	if row.NsPerOp > 0 {
+		row.MIPS = float64(detailed) * 1e3 / row.NsPerOp
+	}
+	return row, nil
+}
+
+func benchSampleRunSerial(uint64) (benchResult, error) {
+	return benchSampleRun("sample-run-serial", 1)
+}
+
+func benchSampleRunParallel(uint64) (benchResult, error) {
+	return benchSampleRun("sample-run-parallel", 0)
+}
+
+// ---------------------------------------------------------------------------
 // Replay-substrate entries (DESIGN.md §10): the one-time cost of
 // materializing a columnar reference stream (the functional pass a sweep
 // pays once per workload) and the steady-state cycle cost of the detailed
@@ -602,6 +652,8 @@ var benchSuite = []benchEntry{
 	{"storefifo-push-pop", benchStoreFIFO},
 	{"fastforward-inst", benchFastForward},
 	{"snapshot-roundtrip", benchSnapshotRoundtrip},
+	{"sample-run-serial", benchSampleRunSerial},
+	{"sample-run-parallel", benchSampleRunParallel},
 	{"replay-materialize-inst", benchReplayMaterialize},
 	{"replay-consume-cycle", benchReplayConsume},
 	{"issue-wakeup", benchIssueWakeup},
@@ -617,6 +669,18 @@ var informational = map[string]bool{
 	"event-map-cycle":      true,
 	"entry-unpooled-cycle": true,
 	"issue-scan":           true,
+}
+
+// machineDependent entries' timings and allocation counts vary with the
+// host's core count: the interval pool spawns up to GOMAXPROCS-1 extra
+// workers, so both ns/op and allocs/op legitimately differ between a 1-core
+// CI runner and a developer's multicore box. The comparator reports these
+// rows without gating any of their columns. The contract that IS gated —
+// parallel results bit-identical to sample-run-serial — lives in `go test`
+// (internal/sample's parallel tests) and scripts/sample_smoke.sh, where it
+// holds on any machine.
+var machineDependent = map[string]bool{
+	"sample-run-parallel": true,
 }
 
 // runBenchSuite executes the selected entries (names, or everything for
@@ -741,6 +805,9 @@ func compareBaseline(path string, tolerance float64, results []benchResult) (reg
 	for _, r := range results {
 		if r.Name == calibrationName {
 			continue // the yardstick itself
+		}
+		if machineDependent[r.Name] {
+			continue // core-count-dependent: reported, never gated
 		}
 		b, ok := baseline[r.Name]
 		if !ok {

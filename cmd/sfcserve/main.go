@@ -9,8 +9,8 @@
 //
 //	sfcserve [-addr 127.0.0.1:8080] [-addr-file PATH] [-workers N]
 //	         [-queue N] [-cache N] [-default-insts N] [-max-insts N]
-//	         [-max-ff N] [-checkpoint-dir DIR] [-replay-dir DIR]
-//	         [-lockstep] [-drain 15s]
+//	         [-max-ff N] [-sample-parallel N] [-checkpoint-dir DIR]
+//	         [-replay-dir DIR] [-lockstep] [-drain 15s]
 //
 // -checkpoint-dir backs sampled requests' fast-forward warmup with an
 // on-disk content-addressed checkpoint store, so the functional pass
@@ -52,6 +52,7 @@ func main() {
 	defaultInsts := flag.Uint64("default-insts", 20_000, "instruction budget for requests that name none")
 	maxInsts := flag.Uint64("max-insts", 200_000, "largest per-request instruction budget")
 	maxFF := flag.Uint64("max-ff", 50_000_000, "largest per-request total functional fast-forward (sampled runs)")
+	sampleParallel := flag.Int("sample-parallel", 0, "interval-level workers per sampled run (default GOMAXPROCS; 1 serializes; results bit-identical either way)")
 	ckptDir := flag.String("checkpoint-dir", "", "directory for the on-disk checkpoint store (default: in-memory)")
 	replayDir := flag.String("replay-dir", "", "directory for the on-disk replay-stream store (default: in-memory)")
 	lockstep := flag.Bool("lockstep", false, "run the backend against the golden-model lockstep oracle instead of replay streams")
@@ -81,15 +82,16 @@ func main() {
 	}
 
 	svc := service.New(service.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheEntries: *cache,
-		DefaultInsts: *defaultInsts,
-		MaxInsts:     *maxInsts,
-		MaxFFInsts:   *maxFF,
-		Checkpoints:  ckpts,
-		Streams:      streams,
-		Lockstep:     *lockstep,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cache,
+		DefaultInsts:   *defaultInsts,
+		MaxInsts:       *maxInsts,
+		MaxFFInsts:     *maxFF,
+		SampleParallel: *sampleParallel,
+		Checkpoints:    ckpts,
+		Streams:        streams,
+		Lockstep:       *lockstep,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

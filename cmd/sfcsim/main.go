@@ -54,6 +54,7 @@ func main() {
 	sWarm := flag.Uint64("sample-warm", 0, "detailed-warm instructions per interval, statistics discarded")
 	sMeasure := flag.Uint64("sample-measure", 0, "measured instructions per interval (enables interval sampling; default: -insts in one interval)")
 	sIntervals := flag.Int("sample-intervals", 1, "number of sampling intervals")
+	sParallel := flag.Int("sample-parallel", 0, "interval-level workers for sampled runs (0: all cores, 1: serial; results are bit-identical either way)")
 	ckptDir := flag.String("checkpoint-dir", "", "on-disk checkpoint store backing the fast-forward (default: none)")
 	replayDir := flag.String("replay-dir", "", "on-disk replay-stream store: the functional reference stream is loaded from (or saved to) DIR instead of re-traced per invocation")
 	lockstep := flag.Bool("lockstep", false, "consume the golden-model trace in lockstep instead of a columnar replay stream (oracle mode; bit-identical results)")
@@ -103,7 +104,7 @@ func main() {
 		if plan.Measure == 0 {
 			plan.Measure = *insts
 		}
-		runSampled(cfg, w, plan, *ckptDir, *lockstep, *jsonOut)
+		runSampled(cfg, w, plan, *ckptDir, *sParallel, *lockstep, *jsonOut)
 		return
 	}
 
@@ -189,7 +190,7 @@ func writeStats(tw *tabwriter.Writer, s *metrics.Stats) {
 // runSampled executes the fast-forward / interval-sampling path and prints
 // either the sampled text report or the service.Result JSON (with its
 // sampling block).
-func runSampled(cfg sim.Config, w sim.WorkloadSpec, plan sample.Plan, ckptDir string, lockstep, jsonOut bool) {
+func runSampled(cfg sim.Config, w sim.WorkloadSpec, plan sample.Plan, ckptDir string, parallel int, lockstep, jsonOut bool) {
 	var store snapshot.Store
 	if ckptDir != "" {
 		st, err := snapshot.NewDiskStore(ckptDir)
@@ -216,7 +217,7 @@ func runSampled(cfg sim.Config, w sim.WorkloadSpec, plan sample.Plan, ckptDir st
 				ivs.FFInsts, ivs.Restored, len(ivs.Ivs))
 		}
 	}
-	sres, err := ivs.Run(context.Background(), cfg)
+	sres, err := ivs.RunParallel(context.Background(), cfg, parallel, nil)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sfcsim: %v\n", err)
 		os.Exit(1)

@@ -3,12 +3,12 @@ package harness
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"sfcmdt/internal/arch"
 	"sfcmdt/internal/metrics"
+	"sfcmdt/internal/par"
 	"sfcmdt/internal/pipeline"
 	"sfcmdt/internal/prog"
 	"sfcmdt/internal/replay"
@@ -75,6 +75,14 @@ type Runner struct {
 	// checkpoint store, so warmed state is shared across runners and — with
 	// a disk store — across processes.
 	Checkpoints snapshot.Store
+	// Parallel bounds the interval-level parallelism of each sampled run
+	// (sample.Intervals.RunParallel): 1 serializes (the oracle path), 0 and
+	// below means GOMAXPROCS. Extra interval workers beyond a run's own
+	// goroutine come from the process-wide par.CPU semaphore — the same
+	// pool RunAllContext draws job slots from — so sweep-level ×
+	// interval-level concurrency composes to ≈NumCPU instead of
+	// multiplying.
+	Parallel int
 
 	// Replay, when non-nil, is the stream cache full-detail runs draw their
 	// reference streams from: one functional pass per (workload, span),
@@ -204,14 +212,18 @@ func (r *Runner) runSampled(ctx context.Context, cfg pipeline.Config, w workload
 		res.Err = err
 		return res
 	}
-	sres, err := m.ivs.Run(ctx, cfg)
+	sres, err := m.ivs.RunParallel(ctx, cfg, r.Parallel, nil)
+	// A canceled or failed run still reports the intervals measured before
+	// the error, mirroring the full-detail path's partial stats.
+	if sres != nil {
+		res.Sample = sres
+		res.Stats = sres.Measured
+		r.retired.Add(sres.Measured.Retired)
+	}
 	if err != nil {
 		res.Err = err
 		return res
 	}
-	res.Sample = sres
-	res.Stats = sres.Measured
-	r.retired.Add(sres.Measured.Retired)
 	r.progress("done %-12s %-28s IPC=%.3f (sampled, CV %.3f)", w.Name, cfg.Name, sres.IPC, sres.CV)
 	return res
 }
@@ -299,14 +311,22 @@ func (r *Runner) RunAllContext(ctx context.Context, jobs []Job) []Result {
 			continue // the per-job Run will surface the error
 		}
 	}
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	// Job slots come from the process-wide CPU semaphore — shared with the
+	// sampler's interval workers and Prepare's restore fan-out, so nested
+	// parallelism sums to ≈NumCPU. Acquire fails once ctx is canceled, so
+	// queued jobs fail fast with the context error instead of waiting for
+	// a slot they will never use.
+	sem := par.CPU()
 	var wg sync.WaitGroup
 	for i, j := range jobs {
+		if err := sem.Acquire(ctx, 1); err != nil {
+			results[i] = Result{Workload: j.W.Name, Class: j.W.Class, Config: j.Cfg.Name, Err: err}
+			continue
+		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(i int, j Job) {
 			defer wg.Done()
-			defer func() { <-sem }()
+			defer sem.Release(1)
 			results[i] = r.RunContext(ctx, j.Cfg, j.W)
 		}(i, j)
 	}

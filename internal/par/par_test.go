@@ -1,0 +1,199 @@
+package par
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAcquireRelease(t *testing.T) {
+	s := NewSem(3)
+	if s.Cap() != 3 {
+		t.Fatalf("Cap() = %d, want 3", s.Cap())
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Acquire(context.Background(), 1); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+	}
+	if s.Held() != 3 {
+		t.Fatalf("Held() = %d, want 3", s.Held())
+	}
+	if s.TryAcquire(1) {
+		t.Fatal("TryAcquire succeeded on a full semaphore")
+	}
+	s.Release(1)
+	if !s.TryAcquire(1) {
+		t.Fatal("TryAcquire failed with a free unit")
+	}
+	s.Release(3)
+	if s.Held() != 0 {
+		t.Fatalf("Held() = %d after releasing everything", s.Held())
+	}
+}
+
+func TestAcquireTooLarge(t *testing.T) {
+	s := NewSem(2)
+	if err := s.Acquire(context.Background(), 3); err == nil {
+		t.Fatal("acquiring more units than Cap did not fail")
+	}
+	if err := s.Acquire(context.Background(), 0); err == nil {
+		t.Fatal("acquiring 0 units did not fail")
+	}
+}
+
+func TestAcquireBlocksUntilRelease(t *testing.T) {
+	s := NewSem(1)
+	if err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- s.Acquire(context.Background(), 1) }()
+	select {
+	case err := <-got:
+		t.Fatalf("second acquire returned (%v) before release", err)
+	case <-time.After(10 * time.Millisecond):
+	}
+	s.Release(1)
+	if err := <-got; err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	s.Release(1)
+}
+
+func TestAcquireCancel(t *testing.T) {
+	s := NewSem(1)
+	if err := s.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() { got <- s.Acquire(ctx, 1) }()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	if err := <-got; err != context.Canceled {
+		t.Fatalf("canceled acquire returned %v", err)
+	}
+	// The canceled waiter must not leak units or block future grants.
+	s.Release(1)
+	if !s.TryAcquire(1) {
+		t.Fatal("unit lost to a canceled waiter")
+	}
+	s.Release(1)
+}
+
+func TestTryAcquireRespectsWaiters(t *testing.T) {
+	s := NewSem(2)
+	if err := s.Acquire(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- s.Acquire(context.Background(), 2) }()
+	time.Sleep(5 * time.Millisecond)
+	s.Release(1)
+	// One unit is free, but a 2-unit waiter is queued: TryAcquire must not
+	// jump the line.
+	if s.TryAcquire(1) {
+		t.Fatal("TryAcquire jumped ahead of a queued waiter")
+	}
+	s.Release(1)
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+	s.Release(2)
+}
+
+func TestWeightedFIFO(t *testing.T) {
+	s := NewSem(4)
+	if err := s.Acquire(context.Background(), 4); err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	first := make(chan struct{})
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		close(first)
+		if err := s.Acquire(context.Background(), 3); err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		order = append(order, 3)
+		mu.Unlock()
+		s.Release(3)
+	}()
+	<-first
+	time.Sleep(5 * time.Millisecond) // let the 3-unit waiter enqueue first
+	go func() {
+		defer wg.Done()
+		if err := s.Acquire(context.Background(), 1); err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		order = append(order, 1)
+		mu.Unlock()
+		s.Release(1)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	// Free exactly 3 units: FIFO grants them to the 3-unit head even though
+	// the later 1-unit waiter also fits. The 1-unit waiter can only proceed
+	// once the head releases, so the observed order is the grant order (a
+	// Release(4) granting both at once would race on goroutine wakeup).
+	s.Release(3)
+	wg.Wait()
+	if len(order) != 2 || order[0] != 3 {
+		t.Fatalf("grant order %v, want the 3-unit waiter first", order)
+	}
+	s.Release(1)
+	if s.Held() != 0 {
+		t.Fatalf("Held() = %d after all releases", s.Held())
+	}
+}
+
+func TestConcurrentChurn(t *testing.T) {
+	s := NewSem(4)
+	var held atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n := int64(1 + (g+i)%3)
+				if g%4 == 0 {
+					if !s.TryAcquire(n) {
+						continue
+					}
+				} else if err := s.Acquire(context.Background(), n); err != nil {
+					t.Error(err)
+					return
+				}
+				if h := held.Add(n); h > s.Cap() {
+					t.Errorf("%d units held, cap %d", h, s.Cap())
+				}
+				held.Add(-n)
+				s.Release(n)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Held() != 0 {
+		t.Fatalf("Held() = %d after churn", s.Held())
+	}
+}
+
+func TestCPUSingleton(t *testing.T) {
+	a, b := CPU(), CPU()
+	if a != b {
+		t.Fatal("CPU() returned different semaphores")
+	}
+	if a.Cap() < 1 {
+		t.Fatalf("CPU() cap = %d", a.Cap())
+	}
+}

@@ -13,15 +13,25 @@
 // intervals; with a snapshot.Store attached, the per-interval start states
 // are checkpointed and later sweeps (or other processes) skip the functional
 // pass entirely.
+//
+// Each prepared interval is an independent (StartState, ReplaySource) pair,
+// so the detailed-measurement phase is embarrassingly parallel: RunParallel
+// fans the K intervals across a bounded worker set drawn from the
+// process-wide par.CPU semaphore and merges results in interval order,
+// bit-identical to the serial Run at any worker count.
 package sample
 
 import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"sfcmdt/internal/arch"
 	"sfcmdt/internal/metrics"
+	"sfcmdt/internal/par"
 	"sfcmdt/internal/pipeline"
 	"sfcmdt/internal/prog"
 	"sfcmdt/internal/replay"
@@ -97,14 +107,22 @@ type Intervals struct {
 	// Restored counts interval start states fetched from the snapshot store
 	// instead of being reached by functional execution.
 	Restored int
+
+	// pipes recycles measurement pipelines across intervals, workers, and
+	// Run calls; ResetFrom guarantees a recycled pipeline is observably
+	// identical to a fresh one.
+	pipes sync.Pool
 }
 
-// Prepare runs the single functional pass that materializes every interval
-// of the plan. If store is non-nil, each interval's start state is looked up
-// in it first (keyed by workload name, args, and instruction offset) and
+// Prepare runs the functional pass that materializes every interval of the
+// plan. If store is non-nil, each interval's start state is looked up in it
+// first (keyed by workload name, args, and instruction offset) and
 // checkpointed on miss, so repeated preparations skip the functional
-// fast-forward. Preparation stops early if the program halts; at least one
-// interval must be preparable.
+// fast-forward. Checkpoint hits split the plan into independent segments
+// that are restored and traced concurrently (the all-hit steady state of a
+// sweep restores every interval in parallel); functional execution stays
+// serial only across actual gaps between checkpoints. Preparation stops
+// early if the program halts; at least one interval must be preparable.
 //
 // Each interval's detailed portion is held as a compact columnar replay
 // stream (~4-5× smaller than the AoS trace it is converted from); use
@@ -125,59 +143,167 @@ func prepare(img *prog.Image, plan Plan, store snapshot.Store, args string, lock
 		return nil, err
 	}
 	ivs := &Intervals{Img: img, Plan: plan}
-	m := arch.New(img)
-	for k := 0; k < plan.Intervals && !m.Halted; k++ {
-		start := uint64(k)*plan.PerInterval() + plan.FastForward
-		if store != nil {
-			if s, ok, err := store.Get(snapshot.Key{Workload: img.Name, Args: args, Insts: start}); err != nil {
-				return nil, err
-			} else if ok {
-				restored, err := s.Machine(img)
-				if err != nil {
-					return nil, err
-				}
-				m = restored
-				ivs.Restored++
-			}
-		}
-		if m.Count < start {
-			before := m.Count
-			if err := FastForward(m, start-m.Count); err != nil {
-				return nil, err
-			}
-			ivs.FFInsts += m.Count - before
-			if store != nil && !m.Halted {
-				if err := store.Put(snapshot.Key{Workload: img.Name, Args: args, Insts: start}, snapshot.Capture(m)); err != nil {
-					return nil, err
-				}
-			}
-		}
-		if m.Halted {
-			break
-		}
-		st := &pipeline.StartState{Regs: m.Regs, PC: m.PC, Mem: m.Mem.Clone()}
-		tr, err := arch.RunTraceFrom(m, plan.Warm+plan.Measure)
-		if err != nil {
-			return nil, err
-		}
-		if tr.Len() == 0 {
-			break
-		}
-		var src pipeline.ReplaySource = tr
-		if !lockstep {
-			s, err := replay.FromTrace(img, tr)
+
+	// Phase 1: probe the store for every interval-start checkpoint,
+	// concurrently — exactly one read-only Get per offset, as in the serial
+	// loop. Errors are recorded per offset and surfaced in phase 2 only if
+	// that offset is actually reached, preserving serial error order.
+	states := make([]*snapshot.State, plan.Intervals)
+	getErrs := make([]error, plan.Intervals)
+	if store != nil {
+		forEachIndex(plan.Intervals, func(k int) {
+			start := uint64(k)*plan.PerInterval() + plan.FastForward
+			s, ok, err := store.Get(snapshot.Key{Workload: img.Name, Args: args, Insts: start})
 			if err != nil {
-				return nil, err
+				getErrs[k] = err
+			} else if ok {
+				states[k] = s
 			}
-			s.Anchors = []uint64{start}
-			src = s.All()
+		})
+	}
+
+	// Phase 2: split the plan into segments, each starting either at the
+	// image entry (segment 0, cold) or at a restored checkpoint. Only the
+	// functional execution inside a segment is inherently serial; segments
+	// run concurrently, so the all-hit case degenerates to K independent
+	// restores.
+	var segs [][2]int // inclusive interval-index ranges
+	for k := 0; k < plan.Intervals; k++ {
+		if k == 0 || states[k] != nil {
+			segs = append(segs, [2]int{k, k})
+		} else {
+			segs[len(segs)-1][1] = k
 		}
-		ivs.Ivs = append(ivs.Ivs, Interval{Offset: start, Start: st, Src: src})
+	}
+	outs := make([]segResult, len(segs))
+	forEachIndex(len(segs), func(i int) {
+		outs[i] = prepareSegment(img, plan, store, args, lockstep, segs[i], states, getErrs)
+	})
+
+	// Join in plan order, reproducing the serial loop's early exit: a halt
+	// or error in one segment discards every later segment's work. (A halt
+	// before a checkpointed offset cannot happen with an honest store —
+	// the checkpoint's existence proves execution reaches that offset —
+	// but the join does not rely on that.)
+	for i := range outs {
+		o := &outs[i]
+		if o.err != nil {
+			return nil, o.err
+		}
+		ivs.Ivs = append(ivs.Ivs, o.ivs...)
+		ivs.FFInsts += o.ff
+		ivs.Restored += o.restored
+		if o.halted {
+			break
+		}
 	}
 	if len(ivs.Ivs) == 0 {
 		return nil, fmt.Errorf("sample: %s: program too short for plan %s", img.Name, plan)
 	}
 	return ivs, nil
+}
+
+// segResult is one segment's contribution to a prepared plan.
+type segResult struct {
+	ivs      []Interval
+	ff       uint64
+	restored int
+	halted   bool // the program halted inside this segment
+	err      error
+}
+
+func prepareSegment(img *prog.Image, plan Plan, store snapshot.Store, args string, lockstep bool, seg [2]int, states []*snapshot.State, getErrs []error) (out segResult) {
+	var m *arch.Machine
+	if st := states[seg[0]]; st != nil {
+		restored, err := st.Machine(img)
+		if err != nil {
+			out.err = err
+			return
+		}
+		m = restored
+		out.restored = 1
+	} else {
+		m = arch.New(img)
+	}
+	for k := seg[0]; k <= seg[1]; k++ {
+		if err := getErrs[k]; err != nil {
+			out.err = err
+			return
+		}
+		start := uint64(k)*plan.PerInterval() + plan.FastForward
+		if m.Count < start {
+			before := m.Count
+			if err := FastForward(m, start-m.Count); err != nil {
+				out.err = err
+				return
+			}
+			out.ff += m.Count - before
+			if store != nil && !m.Halted {
+				if err := store.Put(snapshot.Key{Workload: img.Name, Args: args, Insts: start}, snapshot.Capture(m)); err != nil {
+					out.err = err
+					return
+				}
+			}
+		}
+		if m.Halted {
+			out.halted = true
+			return
+		}
+		st := &pipeline.StartState{Regs: m.Regs, PC: m.PC, Mem: m.Mem.Clone()}
+		tr, err := arch.RunTraceFrom(m, plan.Warm+plan.Measure)
+		if err != nil {
+			out.err = err
+			return
+		}
+		if tr.Len() == 0 {
+			out.halted = true
+			return
+		}
+		var src pipeline.ReplaySource = tr
+		if !lockstep {
+			s, err := replay.FromTrace(img, tr)
+			if err != nil {
+				out.err = err
+				return
+			}
+			s.Anchors = []uint64{start}
+			src = s.All()
+		}
+		out.ivs = append(out.ivs, Interval{Offset: start, Start: st, Src: src})
+		if m.Halted {
+			out.halted = true
+			return
+		}
+	}
+	return
+}
+
+// forEachIndex runs f(k) for every k in [0, n), fanning across the caller's
+// goroutine plus any immediately-available slots of the process-wide CPU
+// semaphore. The caller always works, so progress never depends on a grant.
+func forEachIndex(n int, f func(k int)) {
+	var next atomic.Int64
+	work := func() {
+		for {
+			k := int(next.Add(1)) - 1
+			if k >= n {
+				return
+			}
+			f(k)
+		}
+	}
+	sem := par.CPU()
+	var wg sync.WaitGroup
+	for w := 1; w < n && sem.TryAcquire(1); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer sem.Release(1)
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
 }
 
 // Result is the aggregate of one config's measured intervals.
@@ -208,45 +334,126 @@ type Result struct {
 	WarmInsts uint64 // detailed instructions whose stats were discarded
 }
 
-// Run measures every prepared interval under one pipeline configuration and
-// aggregates. The intervals are read-only; concurrent Runs of different
+// Run measures every prepared interval serially under one pipeline
+// configuration and aggregates — the oracle path RunParallel is pinned
+// against. The intervals are read-only; concurrent Runs of different
 // configs over the same Intervals are safe.
+//
+// On error (including ctx cancellation) the Result holding the intervals
+// measured so far is returned alongside it, so callers can report partial
+// progress.
 func (ivs *Intervals) Run(ctx context.Context, cfg pipeline.Config) (*Result, error) {
+	return ivs.RunParallel(ctx, cfg, 1, nil)
+}
+
+// intervalOut is one interval's measured outcome, collected per index so
+// the merge can walk intervals in plan order regardless of which worker
+// measured which interval.
+type intervalOut struct {
+	attempted   bool
+	warmRetired uint64
+	ipc         float64
+	measured    metrics.Stats
+	err         error
+}
+
+// RunParallel is Run with the K intervals fanned across up to parallel
+// workers (≤ 0 means GOMAXPROCS). Results are merged in interval order, so
+// Measured, IPC, CV, and IntervalIPC are bit-identical to the serial path
+// at any worker count or GOMAXPROCS.
+//
+// The caller's goroutine is always a worker; extra workers run only while
+// they hold a unit of sem (nil means the process-wide par.CPU), acquired
+// with TryAcquire so a loaded machine degrades toward serial instead of
+// oversubscribing — and so nested fan-out (a sweep of sampled runs)
+// composes to ≈NumCPU instead of multiplying.
+//
+// The first error (in interval order) wins: no further intervals are
+// claimed, and the returned Result covers exactly the prefix of intervals
+// before it — the set the serial path would have accumulated, since
+// lower-index intervals already in flight finish normally. Cancelling ctx
+// additionally stops in-flight intervals at the pipeline's polling points.
+func (ivs *Intervals) RunParallel(ctx context.Context, cfg pipeline.Config, parallel int, sem *par.Sem) (*Result, error) {
 	plan := ivs.Plan
 	// Each detailed episode is Warm+Measure instructions; bound cycles
 	// accordingly (Validate derives MaxCycles from MaxInsts).
 	cfg.MaxInsts = plan.Warm + plan.Measure
 	cfg.MaxCycles = 0
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(ivs.Ivs) {
+		parallel = len(ivs.Ivs)
+	}
+	if sem == nil {
+		sem = par.CPU()
+	}
 
-	res := &Result{Plan: plan, Measured: &metrics.Stats{}, FFInsts: ivs.FFInsts}
-	var p *pipeline.Pipeline
-	for i := range ivs.Ivs {
-		iv := &ivs.Ivs[i]
-		var err error
-		if p == nil {
-			p, err = pipeline.NewFrom(cfg, ivs.Img, iv.Src, iv.Start)
-		} else {
-			err = p.ResetFrom(cfg, ivs.Img, iv.Src, iv.Start)
-		}
-		if err != nil {
-			return nil, err
-		}
-		var warm metrics.Stats
-		if plan.Warm > 0 {
-			w, err := p.RunUntilRetired(ctx, plan.Warm)
-			if err != nil {
-				return nil, err
+	// Workers claim interval indices in order from a shared counter and
+	// write results into per-index slots. The stop flag halts claiming
+	// after an error; because claims are monotonic, every index below the
+	// erroring one has already been claimed and completes normally, so the
+	// merged prefix is exactly the serial one.
+	out := make([]intervalOut, len(ivs.Ivs))
+	var next atomic.Int64
+	var stop atomic.Bool
+	worker := func() {
+		p, _ := ivs.pipes.Get().(*pipeline.Pipeline)
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= len(ivs.Ivs) || stop.Load() {
+				break
 			}
-			warm = *w // value copy: Stats is all counters
+			o := &out[i]
+			o.attempted = true
+			if err := ctx.Err(); err != nil {
+				o.err = err
+				stop.Store(true)
+				break
+			}
+			if err := ivs.measure(ctx, cfg, &ivs.Ivs[i], &p, o); err != nil {
+				o.err = err
+				stop.Store(true)
+				break
+			}
 		}
-		final, err := p.RunContext(ctx)
-		if err != nil {
-			return nil, err
+		if p != nil {
+			ivs.pipes.Put(p)
 		}
-		measured := final.Delta(&warm)
-		res.WarmInsts += warm.Retired
-		res.IntervalIPC = append(res.IntervalIPC, measured.IPC())
-		res.Measured.Merge(measured)
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < parallel && sem.TryAcquire(1); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer sem.Release(1)
+			worker()
+		}()
+	}
+	worker()
+	wg.Wait()
+
+	// Merge in interval order up to the first failure, exactly as the
+	// serial loop would have; intervals past it (possibly measured by a
+	// sibling before the cancel landed) are discarded.
+	res := &Result{Plan: plan, Measured: &metrics.Stats{}, FFInsts: ivs.FFInsts}
+	var firstErr error
+	for i := range out {
+		o := &out[i]
+		if o.err != nil {
+			firstErr = o.err
+			break
+		}
+		if !o.attempted {
+			// Unreachable: indices are claimed in order and a worker only
+			// stops claiming after recording an error. Fail loudly rather
+			// than silently under-reporting intervals.
+			firstErr = fmt.Errorf("sample: interval %d not measured", i)
+			break
+		}
+		res.WarmInsts += o.warmRetired
+		res.IntervalIPC = append(res.IntervalIPC, o.ipc)
+		res.Measured.Merge(&o.measured)
 		res.Intervals++
 	}
 	res.IPC = res.Measured.IPC()
@@ -258,7 +465,40 @@ func (ivs *Intervals) Run(ctx context.Context, cfg pipeline.Config) (*Result, er
 		ex.Scale(span, res.Measured.Retired)
 	}
 	res.Extrapolated = &ex
-	return res, nil
+	return res, firstErr
+}
+
+// measure runs one interval on the worker's pipeline (created on first use,
+// ResetFrom thereafter) and fills o with its outcome.
+func (ivs *Intervals) measure(ctx context.Context, cfg pipeline.Config, iv *Interval, pp **pipeline.Pipeline, o *intervalOut) error {
+	p := *pp
+	var err error
+	if p == nil {
+		p, err = pipeline.NewFrom(cfg, ivs.Img, iv.Src, iv.Start)
+		if err != nil {
+			return err
+		}
+		*pp = p
+	} else if err = p.ResetFrom(cfg, ivs.Img, iv.Src, iv.Start); err != nil {
+		return err
+	}
+	var warm metrics.Stats
+	if ivs.Plan.Warm > 0 {
+		w, err := p.RunUntilRetired(ctx, ivs.Plan.Warm)
+		if err != nil {
+			return err
+		}
+		warm = *w // value copy: Stats is all counters
+	}
+	final, err := p.RunContext(ctx)
+	if err != nil {
+		return err
+	}
+	measured := final.Delta(&warm)
+	o.warmRetired = warm.Retired
+	o.ipc = measured.IPC()
+	o.measured = *measured
+	return nil
 }
 
 // cv returns the population coefficient of variation of xs.

@@ -139,10 +139,16 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 		sem := make(chan struct{}, s.cfg.Workers)
 		var wg sync.WaitGroup
 		for _, rq := range reqs {
+			// Waiting for a launch slot races against the client hanging
+			// up; checking only at the loop top would leave this goroutine
+			// blocked on a slot it will never use.
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+			}
 			if ctx.Err() != nil {
 				break // client gone: stop launching the rest of the grid
 			}
-			sem <- struct{}{}
 			wg.Add(1)
 			go func(rq RunRequest) {
 				defer wg.Done()

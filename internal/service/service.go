@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"sfcmdt/internal/harness"
+	"sfcmdt/internal/par"
 	"sfcmdt/internal/replay"
 	"sfcmdt/internal/snapshot"
 	"sfcmdt/internal/workload"
@@ -61,6 +62,12 @@ type Config struct {
 	// magnitude cheaper than detailed simulation, hence the separate, much
 	// larger cap.
 	MaxFFInsts uint64
+	// SampleParallel bounds the interval-level parallelism of one sampled
+	// run (default GOMAXPROCS; 1 serializes). A sampled request occupies
+	// min(intervals, SampleParallel) weighted worker slots — capped at
+	// Workers — so its fan-out is paid for at admission instead of
+	// oversubscribing the pool.
+	SampleParallel int
 	// Checkpoints backs sampled runs' interval preparation. With a
 	// snapshot.DiskStore the fast-forward warmup survives restarts and is
 	// shared across processes; nil keeps checkpoints in process memory.
@@ -103,6 +110,9 @@ func (c *Config) fillDefaults() {
 	if c.MaxFFInsts == 0 {
 		c.MaxFFInsts = 50_000_000
 	}
+	if c.SampleParallel <= 0 {
+		c.SampleParallel = runtime.GOMAXPROCS(0)
+	}
 	if c.Checkpoints == nil {
 		c.Checkpoints = snapshot.NewMemStore()
 	}
@@ -136,10 +146,14 @@ type Service struct {
 	mu       sync.Mutex
 	cache    *lruCache
 	flight   map[string]*call
-	admitted int // executing + queued backend calls
+	admitted int // weighted units admitted: executing + queued backend calls
 	draining bool
 
-	slots chan struct{} // execution slots; capacity = Workers
+	// slots is the weighted execution semaphore (capacity Workers). A
+	// plain run holds one unit; a sampled run holds its full interval
+	// fan-out, min(K, SampleParallel) units, so concurrent sampled
+	// requests compose to ≈Workers pipelines instead of multiplying.
+	slots *par.Sem
 
 	wg sync.WaitGroup // tracks runCall goroutines for drain
 
@@ -178,7 +192,7 @@ func New(cfg Config) *Service {
 		start:    time.Now(),
 		cache:    newLRUCache(cfg.CacheEntries),
 		flight:   make(map[string]*call),
-		slots:    make(chan struct{}, cfg.Workers),
+		slots:    par.NewSem(int64(cfg.Workers)),
 		runners:  make(map[uint64]*harness.Runner),
 		samplers: make(map[string]*harness.Runner),
 		replay:   replay.NewCache(cfg.Streams),
@@ -269,9 +283,11 @@ func (s *Service) runCall(ctx context.Context, key string, rq RunRequest, c *cal
 	s.mu.Unlock()
 }
 
-// execute acquires an admission slot and runs the backend.
+// execute acquires the request's weighted admission slots and runs the
+// backend.
 func (s *Service) execute(ctx context.Context, rq RunRequest, wait bool) (*Result, error) {
-	if err := s.acquireSlot(ctx, wait); err != nil {
+	w := s.weight(rq)
+	if err := s.acquireSlot(ctx, wait, w); err != nil {
 		if errors.Is(err, ErrOverloaded) {
 			s.nRejected.Add(1)
 		} else {
@@ -279,7 +295,7 @@ func (s *Service) execute(ctx context.Context, rq RunRequest, wait bool) (*Resul
 		}
 		return nil, err
 	}
-	defer s.releaseSlot()
+	defer s.releaseSlot(w)
 	if err := ctx.Err(); err != nil { // canceled while queued
 		s.nCanceled.Add(1)
 		return nil, err
@@ -299,32 +315,53 @@ func (s *Service) execute(ctx context.Context, rq RunRequest, wait bool) (*Resul
 	return res, nil
 }
 
-// acquireSlot admits a backend call. Admission counts executing plus queued
-// calls; a non-waiting call beyond Workers+QueueDepth bounces with
-// ErrOverloaded rather than queuing unboundedly.
-func (s *Service) acquireSlot(ctx context.Context, wait bool) error {
+// weight is the number of worker slots one backend call occupies: a plain
+// run uses one pipeline; a sampled run may fan its intervals across up to
+// min(K, SampleParallel) pipelines, every one of which is paid for at
+// admission so concurrent sampled requests cannot oversubscribe the pool.
+func (s *Service) weight(rq RunRequest) int64 {
+	if rq.Sampling == nil {
+		return 1
+	}
+	w := rq.Sampling.Intervals
+	if w > s.cfg.SampleParallel {
+		w = s.cfg.SampleParallel
+	}
+	if w > s.cfg.Workers {
+		w = s.cfg.Workers
+	}
+	if w < 1 {
+		w = 1
+	}
+	return int64(w)
+}
+
+// acquireSlot admits a backend call of weight w. Admission counts weighted
+// executing plus queued units; a non-waiting call whose weight no longer
+// fits under Workers+QueueDepth bounces with ErrOverloaded rather than
+// queuing unboundedly. (At w=1 this is exactly the pre-weighted policy:
+// reject when Workers+QueueDepth units are already admitted.)
+func (s *Service) acquireSlot(ctx context.Context, wait bool, w int64) error {
 	s.mu.Lock()
-	if !wait && s.admitted >= s.cfg.Workers+s.cfg.QueueDepth {
+	if !wait && s.admitted+int(w) > s.cfg.Workers+s.cfg.QueueDepth {
 		s.mu.Unlock()
 		return ErrOverloaded
 	}
-	s.admitted++
+	s.admitted += int(w)
 	s.mu.Unlock()
-	select {
-	case s.slots <- struct{}{}:
-		return nil
-	case <-ctx.Done():
+	if err := s.slots.Acquire(ctx, w); err != nil {
 		s.mu.Lock()
-		s.admitted--
+		s.admitted -= int(w)
 		s.mu.Unlock()
-		return ctx.Err()
+		return err
 	}
+	return nil
 }
 
-func (s *Service) releaseSlot() {
-	<-s.slots
+func (s *Service) releaseSlot(w int64) {
+	s.slots.Release(w)
 	s.mu.Lock()
-	s.admitted--
+	s.admitted -= int(w)
 	s.mu.Unlock()
 }
 
@@ -355,6 +392,7 @@ func (s *Service) samplerFor(sp SamplingSpec) *harness.Runner {
 		r.Sampling = &plan
 		r.Checkpoints = s.cfg.Checkpoints
 		r.Lockstep = s.cfg.Lockstep
+		r.Parallel = s.cfg.SampleParallel
 		s.samplers[sp.key()] = r
 	}
 	return r
@@ -432,10 +470,13 @@ type Snapshot struct {
 	Canceled  uint64 `json:"canceled"`   // abandoned by their waiters
 	Failed    uint64 `json:"failed"`     // backend errors
 
-	InFlight       int    `json:"in_flight"` // distinct keys executing or queued
-	Admitted       int    `json:"admitted"`  // executing + queued backend calls
+	InFlight int `json:"in_flight"` // distinct keys executing or queued
+	// Admitted counts weighted units executing or queued: 1 per plain run,
+	// min(intervals, SampleParallel) per sampled run.
+	Admitted       int    `json:"admitted"`
 	Workers        int    `json:"workers"`
 	QueueDepth     int    `json:"queue_depth"`
+	SampleParallel int    `json:"sample_parallel"`
 	CacheEntries   int    `json:"cache_entries"`
 	CacheCapacity  int    `json:"cache_capacity"`
 	CacheEvictions uint64 `json:"cache_evictions"`
@@ -470,6 +511,7 @@ func (s *Service) Stats() Snapshot {
 	snap.UptimeSeconds = time.Since(s.start).Seconds()
 	snap.Workers = s.cfg.Workers
 	snap.QueueDepth = s.cfg.QueueDepth
+	snap.SampleParallel = s.cfg.SampleParallel
 	snap.CacheCapacity = s.cfg.CacheEntries
 	snap.Requests = s.nRequests.Load()
 	snap.CacheHits = s.nCacheHits.Load()

@@ -1,0 +1,81 @@
+package snapshot_test
+
+import (
+	"sync"
+	"testing"
+
+	"sfcmdt/internal/snapshot"
+)
+
+// diskStoreConcurrency hammers one store with the parallel Prepare access
+// pattern: many goroutines restoring (Get) the same checkpoints while
+// others capture (Put) new ones, with overlapping keys. Run under -race
+// this pins the store's documented safe-for-concurrent-use contract.
+func storeConcurrency(t *testing.T, st snapshot.Store) {
+	t.Helper()
+	states := []*snapshot.State{
+		snapshot.Capture(machineAfter(t, "gzip", 1_000)),
+		snapshot.Capture(machineAfter(t, "gzip", 2_000)),
+		snapshot.Capture(machineAfter(t, "gzip", 3_000)),
+	}
+	keys := make([]snapshot.Key, len(states))
+	for i, s := range states {
+		keys[i] = snapshot.Key{Workload: "gzip", Insts: s.Insts}
+		if err := st.Put(keys[i], s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img := machineAfter(t, "gzip", 0).Img
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := (g + i) % len(keys)
+				if g%3 == 0 {
+					// Concurrent re-Put of identical content: the
+					// content-addressed write must stay atomic.
+					if err := st.Put(keys[k], states[k]); err != nil {
+						t.Errorf("Put: %v", err)
+						return
+					}
+					continue
+				}
+				got, ok, err := st.Get(keys[k])
+				if err != nil || !ok {
+					t.Errorf("Get %v: ok=%v err=%v", keys[k], ok, err)
+					return
+				}
+				if got.Insts != states[k].Insts || got.PC != states[k].PC {
+					t.Errorf("Get %v returned the wrong state", keys[k])
+					return
+				}
+				// Restores are how Prepare consumes Get results; exercise
+				// one to cover the State→Machine path concurrently.
+				m, err := got.Machine(img)
+				if err != nil {
+					t.Errorf("Machine: %v", err)
+					return
+				}
+				if m.Count != states[k].Insts {
+					t.Errorf("restored machine at %d insts, want %d", m.Count, states[k].Insts)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestMemStoreConcurrent(t *testing.T) {
+	storeConcurrency(t, snapshot.NewMemStore())
+}
+
+func TestDiskStoreConcurrent(t *testing.T) {
+	st, err := snapshot.NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	storeConcurrency(t, st)
+}

@@ -6,7 +6,10 @@
 #   - both runs report the identical measured statistics line (checkpoints
 #     don't perturb results),
 #   - a multi-interval sampled run emits a well-formed sampling block in the
-#     service.Result JSON.
+#     service.Result JSON,
+#   - a parallel sampled run (-sample-parallel 4) prints a report
+#     byte-identical to the serial run's (-sample-parallel 1): interval
+#     parallelism must be invisible in the results (DESIGN.md §11).
 # Run via `make sample-smoke`; part of `make ci`.
 set -eu
 
@@ -60,4 +63,17 @@ for field in '"sampling"' '"interval_ipc"' '"cv"' '"ff_insts"'; do
     fi
 done
 
-echo "sample-smoke: PASS (checkpoint round trip + sampled JSON)"
+echo "sample-smoke: serial vs parallel sampled run (expect identical reports)"
+run_sampled() {
+    "$TMP/sfcsim" -config baseline -fastforward 5000 -sample-warm 500 \
+        -sample-measure 500 -sample-intervals 6 -sample-parallel "$1" mcf
+}
+run_sampled 1 >"$TMP/serial.txt"
+run_sampled 4 >"$TMP/parallel.txt"
+if ! cmp -s "$TMP/serial.txt" "$TMP/parallel.txt"; then
+    echo "sample-smoke: parallel sampled report differs from serial" >&2
+    diff "$TMP/serial.txt" "$TMP/parallel.txt" >&2 || true
+    exit 1
+fi
+
+echo "sample-smoke: PASS (checkpoint round trip + sampled JSON + parallel==serial)"

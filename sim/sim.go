@@ -153,12 +153,21 @@ var (
 // interval start states from store when non-nil, checkpointing them on miss)
 // and measures them under the configuration. The plan {Measure: N,
 // Intervals: 1} reproduces Run(cfg, img) with MaxInsts=N bit-identically.
+// Intervals are measured serially; SampledRunParallel fans them across
+// cores with bit-identical results (DESIGN.md §11).
 func SampledRun(cfg Config, img *Image, plan SamplingPlan, store SnapshotStore) (*SampledResult, error) {
+	return SampledRunParallel(cfg, img, plan, store, 1)
+}
+
+// SampledRunParallel is SampledRun with the plan's intervals measured by up
+// to parallel workers (0 means all cores). Results are bit-identical to the
+// serial run at any worker count.
+func SampledRunParallel(cfg Config, img *Image, plan SamplingPlan, store SnapshotStore, parallel int) (*SampledResult, error) {
 	ivs, err := sample.Prepare(img, plan, store, "")
 	if err != nil {
 		return nil, err
 	}
-	return ivs.Run(context.Background(), cfg)
+	return ivs.RunParallel(context.Background(), cfg, parallel, nil)
 }
 
 // The paper's experiments (see DESIGN.md's per-experiment index). Each
