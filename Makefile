@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: all vet fmt-check build test race bench-smoke fuzz-smoke bench bench-json bench-check serve-smoke sample-smoke ci
+.PHONY: all vet fmt-check build test race bench-smoke fuzz-smoke bench bench-json bench-check serve-smoke sample-smoke cluster-smoke ci
 
 all: build
 
@@ -70,4 +70,11 @@ serve-smoke:
 sample-smoke:
 	sh scripts/sample_smoke.sh
 
-ci: vet fmt-check build race bench-smoke fuzz-smoke bench-check serve-smoke sample-smoke
+# End-to-end smoke of the distributed sweep fabric: coordinator + two
+# loopback workers, placement-routed sweeps byte-identical to a single
+# node (including after a mid-sweep worker kill), automatic ejection, and
+# a clean drain.
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
+
+ci: vet fmt-check build race bench-smoke fuzz-smoke bench-check serve-smoke sample-smoke cluster-smoke

@@ -6,9 +6,14 @@
 //
 // Usage:
 //
-//	sfcload -addr HOST:PORT [-c 8] [-n 0] [-d 3s] [-insts N]
+//	sfcload -addr HOST:PORT[,HOST:PORT...] [-c 8] [-n 0] [-d 3s] [-insts N]
 //	        [-workloads gzip,mcf] [-configs baseline] [-mems mdtsfc]
 //	        [-preds ...] [-min-hit-rate -1] [-wait-ready 10s]
+//
+// -addr accepts a comma-separated list of servers (or one cluster
+// coordinator); burst requests round-robin across them and the report breaks
+// completions down per node — for cluster runs, by the worker that actually
+// executed (the coordinator stamps each result's "node" field).
 //
 // With -n 0 the burst runs for -d; otherwise exactly -n requests are sent.
 // -min-hit-rate R exits nonzero unless (cached+coalesced)/completed >= R,
@@ -19,7 +24,11 @@
 // /v1/sweep and prints its summary; -stats GETs /v1/stats and prints the
 // serving counters as grep-friendly "key value" lines (the serve smoke test
 // asserts the replay substrate's one-materialize-per-workload signature
-// this way).
+// this way). -sweep -canonical strips serving metadata (cached/coalesced
+// provenance, latency, node) from every line, sorts the results, and zeroes
+// the summary's volatile fields — two sweeps of the same grid then compare
+// byte-for-byte whether they ran on one node or across a rerouting cluster,
+// which is how the cluster smoke test asserts bit-identical reroutes.
 package main
 
 import (
@@ -48,10 +57,11 @@ type counters struct {
 	backend   int
 	rejected  int // 429
 	errors    int
+	perNode   map[string]int // completions by executing node
 }
 
 func main() {
-	addr := flag.String("addr", "", "server address (host:port or http://host:port); required")
+	addr := flag.String("addr", "", "server address(es), comma-separated (host:port or http://host:port); required")
 	conc := flag.Int("c", 8, "concurrent closed-loop clients")
 	n := flag.Int("n", 0, "total requests (0 = run for -d)")
 	dur := flag.Duration("d", 3*time.Second, "burst duration when -n is 0")
@@ -65,6 +75,7 @@ func main() {
 	minHitRate := flag.Float64("min-hit-rate", -1, "fail unless (cached+coalesced)/completed >= this (-1 disables)")
 	showStatsz := flag.Bool("statsz", true, "print the server's /statsz after the burst")
 	sweep := flag.Bool("sweep", false, "POST one /v1/sweep over the grid axes, print each line and the summary, and exit")
+	canonical := flag.Bool("canonical", false, "with -sweep: strip serving metadata, sort result lines, zero volatile summary fields (for byte-comparing runs)")
 	statsOnly := flag.Bool("stats", false, "GET /v1/stats and print the counters as 'key value' lines, then exit")
 	flag.Parse()
 
@@ -72,26 +83,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sfcload: -addr is required")
 		os.Exit(2)
 	}
-	base := *addr
-	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
-		base = "http://" + base
+	var bases []string
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimSpace(a); a == "" {
+			continue
+		}
+		if !strings.HasPrefix(a, "http://") && !strings.HasPrefix(a, "https://") {
+			a = "http://" + a
+		}
+		bases = append(bases, a)
+	}
+	if len(bases) == 0 {
+		fmt.Fprintln(os.Stderr, "sfcload: -addr is required")
+		os.Exit(2)
 	}
 	client := &http.Client{Timeout: *timeout}
 
-	if err := waitHealthy(client, base, *waitReady); err != nil {
-		fmt.Fprintf(os.Stderr, "sfcload: %v\n", err)
-		os.Exit(1)
+	for _, base := range bases {
+		if err := waitHealthy(client, base, *waitReady); err != nil {
+			fmt.Fprintf(os.Stderr, "sfcload: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	if *statsOnly {
-		if err := printStats(client, base); err != nil {
+		if err := printStats(client, bases[0]); err != nil {
 			fmt.Fprintf(os.Stderr, "sfcload: stats: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if *sweep {
-		if err := doSweep(client, base, *workloads, *configs, *mems, *preds, *insts); err != nil {
+		if err := doSweep(client, bases[0], *workloads, *configs, *mems, *preds, *insts, *canonical); err != nil {
 			fmt.Fprintf(os.Stderr, "sfcload: sweep: %v\n", err)
 			os.Exit(1)
 		}
@@ -114,7 +137,7 @@ func main() {
 	}
 
 	var (
-		cts  counters
+		cts  = counters{perNode: make(map[string]int)}
 		seq  atomic.Int64
 		wg   sync.WaitGroup
 		stop = time.Now().Add(*dur)
@@ -133,6 +156,7 @@ func main() {
 				} else if time.Now().After(stop) {
 					return
 				}
+				base := bases[int(i)%len(bases)]
 				doOne(client, base, bodies[int(i)%len(bodies)], &cts)
 			}
 		}()
@@ -142,7 +166,7 @@ func main() {
 
 	report(&cts, elapsed)
 	if *showStatsz {
-		printStatsz(client, base)
+		printStatsz(client, bases[0])
 	}
 
 	if cts.errors > 0 {
@@ -242,6 +266,13 @@ func doOne(client *http.Client, base string, body []byte, cts *counters) {
 		default:
 			cts.backend++
 		}
+		// A coordinator stamps the executing worker; a bare server doesn't,
+		// so fall back to the node we targeted.
+		node := res.Node
+		if node == "" {
+			node = strings.TrimPrefix(strings.TrimPrefix(base, "http://"), "https://")
+		}
+		cts.perNode[node]++
 	case http.StatusTooManyRequests:
 		// Backpressure working as designed; counted, not an error.
 		cts.rejected++
@@ -273,14 +304,26 @@ func report(cts *counters, elapsed time.Duration) {
 	fmt.Printf("rejected    %d (429 backpressure)\n", cts.rejected)
 	fmt.Printf("errors      %d\n", cts.errors)
 	fmt.Printf("hit rate    %.1f%% served without a backend run\n", 100*hitRate(cts))
-	fmt.Printf("latency     p50 %s  p90 %s  p99 %s  max %s\n",
-		percentile(cts.latencies, 0.50), percentile(cts.latencies, 0.90),
+	fmt.Printf("latency     p50 %s  p95 %s  p99 %s  max %s\n",
+		percentile(cts.latencies, 0.50), percentile(cts.latencies, 0.95),
 		percentile(cts.latencies, 0.99), percentile(cts.latencies, 1.0))
+	if len(cts.perNode) > 0 {
+		nodes := make([]string, 0, len(cts.perNode))
+		for n := range cts.perNode {
+			nodes = append(nodes, n)
+		}
+		sort.Strings(nodes)
+		for _, n := range nodes {
+			fmt.Printf("node        %s %d\n", n, cts.perNode[n])
+		}
+	}
 }
 
 // doSweep posts the grid axes as one /v1/sweep, echoes each NDJSON line, and
-// fails if any grid point errored or the summary never arrived.
-func doSweep(client *http.Client, base, workloads, configs, mems, preds string, insts uint64) error {
+// fails if any grid point errored or the summary never arrived. In canonical
+// mode the echo is deferred: result lines are stripped of serving metadata,
+// sorted, and printed before a summary whose volatile fields are zeroed.
+func doSweep(client *http.Client, base, workloads, configs, mems, preds string, insts uint64, canonical bool) error {
 	split := func(s string) []string {
 		var out []string
 		for _, f := range strings.Split(s, ",") {
@@ -312,19 +355,54 @@ func doSweep(client *http.Client, base, workloads, configs, mems, preds string, 
 	}
 	dec := json.NewDecoder(resp.Body)
 	var sum *service.SweepSummary
+	var canon []string
 	for dec.More() {
 		var raw json.RawMessage
 		if err := dec.Decode(&raw); err != nil {
 			return err
 		}
-		fmt.Println(strings.TrimSpace(string(raw)))
 		var maybe service.SweepSummary
 		if json.Unmarshal(raw, &maybe) == nil && maybe.Done {
 			sum = &maybe
+			continue
 		}
+		if !canonical {
+			fmt.Println(strings.TrimSpace(string(raw)))
+			continue
+		}
+		var res service.Result
+		if err := json.Unmarshal(raw, &res); err != nil {
+			return fmt.Errorf("decoding result line: %w", err)
+		}
+		b, err := json.Marshal(res.Canonical())
+		if err != nil {
+			return err
+		}
+		canon = append(canon, string(b))
 	}
 	if sum == nil {
 		return fmt.Errorf("stream ended without a summary line")
+	}
+	if canonical {
+		sort.Strings(canon)
+		for _, line := range canon {
+			fmt.Println(line)
+		}
+		// Cache/coalesce tallies and wall-clock depend on serving history,
+		// not on what the grid computed.
+		cs := *sum
+		cs.Cached, cs.Coalesced, cs.ElapsedMS = 0, 0, 0
+		b, err := json.Marshal(cs)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+	} else {
+		b, err := json.Marshal(sum)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
 	}
 	if sum.Errors > 0 || sum.OK != sum.Runs {
 		return fmt.Errorf("sweep finished with %d/%d ok, %d errors", sum.OK, sum.Runs, sum.Errors)

@@ -11,6 +11,8 @@
 //	         [-queue N] [-cache N] [-default-insts N] [-max-insts N]
 //	         [-max-ff N] [-sample-parallel N] [-checkpoint-dir DIR]
 //	         [-replay-dir DIR] [-lockstep] [-drain 15s]
+//	         [-coordinator | -join URL] [-cluster-dir DIR] [-advertise ADDR]
+//	         [-heartbeat 1s] [-probe-interval 1s] [-load-factor 1.25]
 //
 // -checkpoint-dir backs sampled requests' fast-forward warmup with an
 // on-disk content-addressed checkpoint store, so the functional pass
@@ -23,6 +25,23 @@
 // -replay-dir persists the streams on disk across restarts; -lockstep
 // switches the backend to the golden-model oracle (bit-identical results,
 // no stream reuse).
+//
+// # Cluster modes
+//
+// -coordinator serves the routing plane instead of a simulator: workers
+// register via POST /v1/register, and the coordinator consistent-hashes
+// request placement keys over the healthy fleet, proxying /v1/run and
+// fanning /v1/sweep grids out per key (same request/response shapes as a
+// worker — clients need not care which they are talking to). The instruction
+// caps (-default-insts, -max-insts, -max-ff) must match the workers'.
+//
+// -join URL turns this server into a worker of that coordinator: it
+// registers immediately, heartbeats every -heartbeat, deregisters on drain,
+// and layers its checkpoint/replay stores into local-first tiers backed by
+// the fleet, so a cold worker pulls blobs a peer already materialized.
+// -advertise overrides the address it registers (default: the bound
+// address). -cluster-dir DIR is shorthand for -checkpoint-dir
+// DIR/checkpoints -replay-dir DIR/streams.
 package main
 
 import (
@@ -35,9 +54,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"sfcmdt/internal/cluster"
 	"sfcmdt/internal/replay"
 	"sfcmdt/internal/service"
 	"sfcmdt/internal/snapshot"
@@ -57,11 +78,41 @@ func main() {
 	replayDir := flag.String("replay-dir", "", "directory for the on-disk replay-stream store (default: in-memory)")
 	lockstep := flag.Bool("lockstep", false, "run the backend against the golden-model lockstep oracle instead of replay streams")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown deadline before in-flight runs are canceled")
+	coordinator := flag.Bool("coordinator", false, "serve as a cluster coordinator (no local simulator)")
+	join := flag.String("join", "", "coordinator URL to register with (turns this server into a cluster worker)")
+	clusterDir := flag.String("cluster-dir", "", "node state directory (shorthand for -checkpoint-dir DIR/checkpoints -replay-dir DIR/streams)")
+	advertise := flag.String("advertise", "", "address to register with the coordinator (default: the bound address)")
+	heartbeat := flag.Duration("heartbeat", time.Second, "worker re-registration interval when joined")
+	probeInterval := flag.Duration("probe-interval", time.Second, "coordinator health-probe interval")
+	loadFactor := flag.Float64("load-factor", 1.25, "coordinator bounded-load factor (<=1 disables spilling)")
 	flag.Parse()
 
 	log.SetPrefix("sfcserve: ")
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 
+	if *coordinator && *join != "" {
+		log.Fatalf("-coordinator and -join are mutually exclusive")
+	}
+	if *coordinator {
+		runCoordinator(*addr, *addrFile, *drain, cluster.Config{
+			LoadFactor:    *loadFactor,
+			ProbeInterval: *probeInterval,
+			DefaultInsts:  *defaultInsts,
+			MaxInsts:      *maxInsts,
+			MaxFFInsts:    *maxFF,
+			Logf:          log.Printf,
+		})
+		return
+	}
+
+	if *clusterDir != "" {
+		if *ckptDir == "" {
+			*ckptDir = filepath.Join(*clusterDir, "checkpoints")
+		}
+		if *replayDir == "" {
+			*replayDir = filepath.Join(*clusterDir, "streams")
+		}
+	}
 	var ckpts snapshot.Store
 	if *ckptDir != "" {
 		st, err := snapshot.NewDiskStore(*ckptDir)
@@ -81,7 +132,7 @@ func main() {
 		log.Printf("replay-stream store at %s", *replayDir)
 	}
 
-	svc := service.New(service.Config{
+	cfg := service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cache,
@@ -92,28 +143,53 @@ func main() {
 		Checkpoints:    ckpts,
 		Streams:        streams,
 		Lockstep:       *lockstep,
-	})
+	}
+	if *join != "" {
+		// Worker mode: layer the local stores into fleet-backed tiers. The
+		// node publishes only its local tier (PublishCheckpoints/Streams);
+		// serving the tiered store to peers would recurse a fleet Get through
+		// the coordinator right back to this node. In-memory local tiers
+		// still publish: "local" means "this node owns it", not "on disk".
+		localCkpts := ckpts
+		if localCkpts == nil {
+			localCkpts = snapshot.NewMemStore()
+		}
+		localStreams := streams
+		if localStreams == nil {
+			localStreams = replay.NewMemStore()
+		}
+		cfg.Checkpoints = &cluster.TieredSnapshots{Local: localCkpts, Remote: &cluster.SnapshotStore{Base: *join}}
+		cfg.Streams = &cluster.TieredStreams{Local: localStreams, Remote: &cluster.StreamStore{Base: *join}}
+		cfg.PublishCheckpoints = localCkpts
+		cfg.PublishStreams = localStreams
+	}
+	svc := service.New(cfg)
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		log.Fatalf("listen: %v", err)
-	}
-	bound := ln.Addr().String()
-	if *addrFile != "" {
-		// Write-then-rename so watchers never read a half-written file.
-		tmp := *addrFile + ".tmp"
-		if err := os.WriteFile(tmp, []byte(bound+"\n"), 0o644); err != nil {
-			log.Fatalf("addr-file: %v", err)
-		}
-		if err := os.Rename(tmp, *addrFile); err != nil {
-			log.Fatalf("addr-file: %v", err)
-		}
-	}
+	ln, bound := listen(*addr, *addrFile)
 	log.Printf("listening on %s", bound)
 
 	srv := &http.Server{Handler: svc.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+
+	// The heartbeat loop is canceled first on drain so the coordinator stops
+	// routing new points here before /v1/healthz flips.
+	joinDone := make(chan struct{})
+	var stopJoin context.CancelFunc = func() {}
+	if *join != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = bound
+		}
+		var jctx context.Context
+		jctx, stopJoin = context.WithCancel(context.Background())
+		go func() {
+			defer close(joinDone)
+			cluster.Join(jctx, *join, adv, *heartbeat, log.Printf)
+		}()
+	} else {
+		close(joinDone)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -125,8 +201,11 @@ func main() {
 	stop()
 	log.Printf("signal received; draining (deadline %s)", *drain)
 
-	// Refuse new work first so load balancers see /healthz flip, then wait
-	// for open connections and in-flight runs, then force-cancel stragglers.
+	// Leave the cluster first, then refuse new work so load balancers see
+	// /healthz flip, then wait for open connections and in-flight runs, then
+	// force-cancel stragglers.
+	stopJoin()
+	<-joinDone
 	svc.BeginDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
@@ -142,5 +221,61 @@ func main() {
 		st.Requests, st.CacheHits, st.Coalesced, st.Executed, st.Rejected)
 	log.Printf("replay streams: %d hits, %d store hits, %d materialized",
 		st.ReplayHits, st.ReplayStoreHits, st.ReplayMaterialized)
+	fmt.Println("sfcserve: clean shutdown")
+}
+
+// listen binds addr and (optionally) publishes the bound address to a file.
+func listen(addr, addrFile string) (net.Listener, string) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	bound := ln.Addr().String()
+	if addrFile != "" {
+		// Write-then-rename so watchers never read a half-written file.
+		tmp := addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(bound+"\n"), 0o644); err != nil {
+			log.Fatalf("addr-file: %v", err)
+		}
+		if err := os.Rename(tmp, addrFile); err != nil {
+			log.Fatalf("addr-file: %v", err)
+		}
+	}
+	return ln, bound
+}
+
+// runCoordinator serves the cluster routing plane until a signal drains it.
+func runCoordinator(addr, addrFile string, drain time.Duration, cfg cluster.Config) {
+	coord := cluster.New(cfg)
+	ln, bound := listen(addr, addrFile)
+	log.Printf("coordinator listening on %s", bound)
+
+	srv := &http.Server{Handler: coord.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("signal received; draining (deadline %s)", drain)
+
+	coord.BeginDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("forcing connection close: %v", err)
+		_ = srv.Close()
+	}
+	if err := coord.Close(shutdownCtx); err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("drain deadline hit; in-flight proxied requests abandoned: %v", err)
+	}
+	st := coord.ClusterStats()
+	log.Printf("drained: %d runs proxied (%d rerouted, %d failed), %d sweeps (%d points), %d/%d workers healthy",
+		st.Runs, st.Rerouted, st.Failed, st.Sweeps, st.SweepPoints, st.HealthyWorkers, st.TotalWorkers)
 	fmt.Println("sfcserve: clean shutdown")
 }

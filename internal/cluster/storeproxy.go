@@ -1,0 +1,228 @@
+package cluster
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"sfcmdt/internal/replay"
+	"sfcmdt/internal/snapshot"
+)
+
+// Remote-store adapters: snapshot.Store / replay.Store implementations over
+// a peer's /v1/store HTTP API. Pointed at the coordinator they become fleet
+// stores — the coordinator fans a Get across the workers' published tiers
+// and forwards a Put to the key's ring owner — so a cold worker pulls a
+// reference stream or warmup checkpoint some other node already paid for
+// instead of re-materializing it.
+//
+// Verify-on-get is double-layered: the X-Content-SHA256 header is checked
+// against the body, and the blob codecs' own CRCs are validated by Decode.
+// Either failing rejects the blob rather than replaying it.
+
+// storeGet fetches a blob; ok=false on 404.
+func storeGet(h *http.Client, base, kind string, q url.Values) ([]byte, bool, error) {
+	resp, err := h.Get(base + "/v1/store/" + kind + "?" + q.Encode())
+	if err != nil {
+		return nil, false, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, remoteErr(resp)
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxRemoteBlobBytes+1))
+	if err != nil {
+		return nil, false, err
+	}
+	if len(b) > maxRemoteBlobBytes {
+		return nil, false, fmt.Errorf("cluster: %s blob exceeds %d bytes", kind, maxRemoteBlobBytes)
+	}
+	if want := resp.Header.Get("X-Content-SHA256"); want != "" {
+		h := sha256.Sum256(b)
+		if got := hex.EncodeToString(h[:]); got != want {
+			return nil, false, fmt.Errorf("cluster: %s blob fails content check (got %s want %s)", kind, got[:12], want[:12])
+		}
+	}
+	return b, true, nil
+}
+
+// maxRemoteBlobBytes mirrors the server-side PUT bound.
+const maxRemoteBlobBytes = 64 << 20
+
+// storePut uploads a blob.
+func storePut(h *http.Client, base, kind string, q url.Values, b []byte) error {
+	req, err := http.NewRequest(http.MethodPut, base+"/v1/store/"+kind+"?"+q.Encode(), bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := h.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return remoteErr(resp)
+	}
+	return nil
+}
+
+func snapshotQuery(k snapshot.Key) url.Values {
+	return url.Values{
+		"workload": {k.Workload},
+		"args":     {k.Args},
+		"insts":    {strconv.FormatUint(k.Insts, 10)},
+	}
+}
+
+func streamQuery(k replay.Key) url.Values {
+	return url.Values{
+		"workload": {k.Workload},
+		"args":     {k.Args},
+		"span":     {strconv.FormatUint(k.Span, 10)},
+	}
+}
+
+// SnapshotStore implements snapshot.Store over a peer's /v1/store/snapshot
+// API (a worker's published tier, or the coordinator's fleet fan-out).
+type SnapshotStore struct {
+	Base string       // peer base URL
+	HTTP *http.Client // nil uses the package default
+}
+
+func (s *SnapshotStore) http() *http.Client {
+	if s.HTTP != nil {
+		return s.HTTP
+	}
+	return defaultHTTP
+}
+
+// Get implements snapshot.Store.
+func (s *SnapshotStore) Get(k snapshot.Key) (*snapshot.State, bool, error) {
+	b, ok, err := storeGet(s.http(), baseURL(s.Base), "snapshot", snapshotQuery(k))
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	st, err := snapshot.Decode(b)
+	if err != nil {
+		return nil, false, fmt.Errorf("cluster: %s: %w", k, err)
+	}
+	return st, true, nil
+}
+
+// Put implements snapshot.Store.
+func (s *SnapshotStore) Put(k snapshot.Key, st *snapshot.State) error {
+	return storePut(s.http(), baseURL(s.Base), "snapshot", snapshotQuery(k), st.Encode())
+}
+
+// StreamStore implements replay.Store over a peer's /v1/store/stream API.
+type StreamStore struct {
+	Base string
+	HTTP *http.Client
+}
+
+func (s *StreamStore) http() *http.Client {
+	if s.HTTP != nil {
+		return s.HTTP
+	}
+	return defaultHTTP
+}
+
+// Get implements replay.Store.
+func (s *StreamStore) Get(k replay.Key) (*replay.Stream, bool, error) {
+	b, ok, err := storeGet(s.http(), baseURL(s.Base), "stream", streamQuery(k))
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	st, err := replay.Decode(b)
+	if err != nil {
+		return nil, false, fmt.Errorf("cluster: %s: %w", k, err)
+	}
+	return st, true, nil
+}
+
+// Put implements replay.Store.
+func (s *StreamStore) Put(k replay.Key, st *replay.Stream) error {
+	return storePut(s.http(), baseURL(s.Base), "stream", streamQuery(k), st.Encode())
+}
+
+// TieredSnapshots composes a worker's checkpoint tiers: the local store it
+// owns (and publishes to peers) in front of the fleet. Get probes local
+// first; a remote hit is written back locally so the next probe is free.
+// Put must succeed locally — that is the tier this node serves — while the
+// remote copy (routed by the coordinator to the key's ring owner) is best
+// effort: a network flake shares one blob less, it does not fail the run.
+type TieredSnapshots struct {
+	Local  snapshot.Store
+	Remote snapshot.Store
+}
+
+// Get implements snapshot.Store.
+func (t *TieredSnapshots) Get(k snapshot.Key) (*snapshot.State, bool, error) {
+	if st, ok, err := t.Local.Get(k); err != nil || ok {
+		return st, ok, err
+	}
+	st, ok, err := t.Remote.Get(k)
+	if err != nil {
+		// The fleet being unreachable must not fail the run: a miss just
+		// re-materializes, which is always correct.
+		return nil, false, nil
+	}
+	if ok {
+		_ = t.Local.Put(k, st) // write-back, best effort
+	}
+	return st, ok, nil
+}
+
+// Put implements snapshot.Store.
+func (t *TieredSnapshots) Put(k snapshot.Key, st *snapshot.State) error {
+	if err := t.Local.Put(k, st); err != nil {
+		return err
+	}
+	_ = t.Remote.Put(k, st) // best effort
+	return nil
+}
+
+// TieredStreams is the replay-stream analogue of TieredSnapshots.
+type TieredStreams struct {
+	Local  replay.Store
+	Remote replay.Store
+}
+
+// Get implements replay.Store.
+func (t *TieredStreams) Get(k replay.Key) (*replay.Stream, bool, error) {
+	if st, ok, err := t.Local.Get(k); err != nil || ok {
+		return st, ok, err
+	}
+	st, ok, err := t.Remote.Get(k)
+	if err != nil {
+		return nil, false, nil
+	}
+	if ok {
+		_ = t.Local.Put(k, st)
+	}
+	return st, ok, nil
+}
+
+// Put implements replay.Store.
+func (t *TieredStreams) Put(k replay.Key, st *replay.Stream) error {
+	if err := t.Local.Put(k, st); err != nil {
+		return err
+	}
+	_ = t.Remote.Put(k, st)
+	return nil
+}

@@ -15,16 +15,30 @@ const maxBodyBytes = 1 << 20
 
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/run    one simulation        -> Result JSON (429 on overload)
-//	POST /v1/sweep  a grid of simulations -> NDJSON Result stream + summary
-//	GET  /v1/stats  serving counters      -> Snapshot JSON
-//	GET  /healthz   liveness              -> "ok" / 503 "draining"
-//	GET  /statsz    serving counters      -> Snapshot JSON (legacy alias)
+//	POST /v1/run            one simulation        -> Result JSON (429 on overload;
+//	                        ?wait=1 queues instead — the coordinator's sweep mode)
+//	POST /v1/sweep          a grid of simulations -> NDJSON Result stream + summary
+//	GET  /v1/stats          serving counters      -> Snapshot JSON
+//	GET  /v1/healthz        readiness             -> 200 "ok" / 503 "draining"
+//	GET  /v1/store/snapshot checkpoint blob by key (cluster peers pull state)
+//	PUT  /v1/store/snapshot store a checkpoint blob
+//	GET  /v1/store/stream   replay-stream blob by key
+//	PUT  /v1/store/stream   store a replay-stream blob
+//	GET  /healthz           readiness             -> legacy alias of /v1/healthz
+//	GET  /statsz            serving counters      -> Snapshot JSON (legacy alias)
+//
+// /v1/healthz is the single readiness signal load balancers and the cluster
+// coordinator share: 200 while accepting, 503 once draining.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/stats", s.handleStatsz)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/store/snapshot", s.handleSnapshotGet)
+	mux.HandleFunc("PUT /v1/store/snapshot", s.handleSnapshotPut)
+	mux.HandleFunc("GET /v1/store/stream", s.handleStreamGet)
+	mux.HandleFunc("PUT /v1/store/stream", s.handleStreamPut)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
 	return mux
@@ -79,7 +93,11 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &rq) {
 		return
 	}
-	res, err := s.Do(r.Context(), rq, false)
+	// ?wait=1 selects the queueing admission policy: the cluster
+	// coordinator's sweep fan-out is a batch client that wants the point,
+	// not a latency SLO, so it queues (like a local sweep's points) instead
+	// of bouncing with 429.
+	res, err := s.Do(r.Context(), rq, r.URL.Query().Get("wait") == "1")
 	if err != nil {
 		writeServiceError(w, err)
 		return

@@ -136,6 +136,14 @@ func (rq *RunRequest) normalize(defaultInsts, maxInsts, maxFFInsts uint64) error
 	return nil
 }
 
+// Normalize canonicalizes the request in place against the given server
+// caps — the exported form of normalize, for the cluster coordinator, which
+// must compute routing keys with exactly the normalization its workers
+// apply. The caps therefore must match the workers' configuration.
+func (rq *RunRequest) Normalize(defaultInsts, maxInsts, maxFFInsts uint64) error {
+	return rq.normalize(defaultInsts, maxInsts, maxFFInsts)
+}
+
 // defaultPred returns the paper's predictor choice for a (config, mem) pair:
 // ENF pairwise on the baseline MDT/SFC, total-order on the aggressive
 // MDT/SFC, true-only for the LSQ and multiversion variants (renaming or the
@@ -164,6 +172,22 @@ func (rq RunRequest) Key() string {
 	if rq.Sampling != nil {
 		// Sampled runs key on the plan too; unsampled keys keep their
 		// historical format.
+		k += "|" + rq.Sampling.key()
+	}
+	return k
+}
+
+// PlacementKey is the prefix of Key that names the expensive shared state a
+// run depends on — the workload, the instruction budget, and the sampling
+// plan, but not the timing configuration. The reference stream and the
+// prepared interval checkpoints are keyed by exactly these axes, so the
+// cluster coordinator routes by this key: every configuration of one
+// (workload, budget) pair lands on the node that already owns the
+// materialized stream and checkpoints, and the per-node singleflight
+// guarantees one functional pass per key fleet-wide.
+func (rq RunRequest) PlacementKey() string {
+	k := fmt.Sprintf("%s|%d", rq.Workload, rq.Insts)
+	if rq.Sampling != nil {
 		k += "|" + rq.Sampling.key()
 	}
 	return k
@@ -228,6 +252,13 @@ type SweepRequest struct {
 	// Stats includes the full per-run counter set on each NDJSON line
 	// (off by default: sweeps are usually after the headline numbers).
 	Stats bool `json:"stats,omitempty"`
+}
+
+// Expand returns the grid's run requests in row-major order (workload
+// outermost), not yet normalized — the exported form of expand, for the
+// cluster coordinator's per-key sweep fan-out.
+func (sr SweepRequest) Expand() []RunRequest {
+	return sr.expand()
 }
 
 // expand returns the grid's run requests in row-major order (workload

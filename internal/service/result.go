@@ -37,6 +37,9 @@ type Result struct {
 	Cached    bool    `json:"cached,omitempty"`
 	Coalesced bool    `json:"coalesced,omitempty"`
 	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+	// Node, when the response was served through a cluster coordinator,
+	// names the worker that executed (or cached) the run.
+	Node string `json:"node,omitempty"`
 
 	// Err is set on sweep lines whose run failed or was canceled; the
 	// sweep keeps streaming the rest of the grid.
@@ -102,6 +105,18 @@ func resultFromHarness(rq RunRequest, hr harness.Result) *Result {
 		res.Sampling = NewSamplingResult(hr.Sample)
 	}
 	return res
+}
+
+// Canonical returns a shallow copy stripped of serving metadata — cache and
+// coalesce provenance, wall-clock latency, and the executing node — the only
+// fields that legitimately differ between two servings of the same
+// deterministic run. Byte-comparing canonical sweep outputs is how the
+// cluster smoke test asserts that a rerouted rerun is bit-identical to a
+// single-node run.
+func (r *Result) Canonical() *Result {
+	c := *r
+	c.Cached, c.Coalesced, c.ElapsedMS, c.Node = false, false, 0, ""
+	return &c
 }
 
 // withoutStats returns a shallow copy stripped of the full counter set (for

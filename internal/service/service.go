@@ -79,6 +79,15 @@ type Config struct {
 	// points of a sweep — and all budgets that fit a materialized span —
 	// reuse one functional pass per workload.
 	Streams replay.Store
+	// PublishCheckpoints and PublishStreams back the node's /v1/store
+	// endpoints — the locally owned tier a cluster peer may pull blobs
+	// from (Get/Put by key, verified on get). nil falls back to
+	// Checkpoints/Streams, which is correct for a standalone node whose
+	// stores are plain local stores. Cluster wiring MUST point these at
+	// the local tier, never at a fleet-backed tiered store, or a peer's
+	// Get would recurse through the coordinator back to this node.
+	PublishCheckpoints snapshot.Store
+	PublishStreams     replay.Store
 	// Lockstep switches backend runs to the golden-model lockstep oracle
 	// instead of replay streams (see harness.Runner.Lockstep).
 	Lockstep bool
@@ -115,6 +124,12 @@ func (c *Config) fillDefaults() {
 	}
 	if c.Checkpoints == nil {
 		c.Checkpoints = snapshot.NewMemStore()
+	}
+	if c.PublishCheckpoints == nil {
+		c.PublishCheckpoints = c.Checkpoints
+	}
+	if c.PublishStreams == nil {
+		c.PublishStreams = c.Streams // may stay nil: nothing published
 	}
 }
 

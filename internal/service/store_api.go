@@ -1,0 +1,175 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"sfcmdt/internal/replay"
+	"sfcmdt/internal/snapshot"
+)
+
+// The /v1/store endpoints expose the node's locally owned checkpoint and
+// replay-stream tiers to cluster peers: Get/Put by canonical key, blob
+// verification on both sides. A cold worker rerouted onto a key it never
+// served pulls the reference stream or warmup checkpoint from the fleet
+// through these endpoints instead of re-materializing it.
+//
+// Verification is belt and braces: responses carry an X-Content-SHA256
+// header the client checks against the body, and both blob codecs (SFCP
+// checkpoints, SFRS streams) carry their own CRC that Decode validates —
+// a torn or corrupted blob fails closed on either side. PUT bodies are
+// decoded before storing, so a node never publishes bytes it cannot parse.
+
+// maxStoreBlobBytes bounds PUT bodies: a 200k-inst stream is ~4 MB and
+// checkpoints are page-sparse, so 64 MiB is generous headroom, not a limit
+// anyone should meet.
+const maxStoreBlobBytes = 64 << 20
+
+// storeKeyUint parses the one numeric key component (insts for checkpoints,
+// span for streams).
+func storeKeyUint(q url.Values, field string) (uint64, error) {
+	v := q.Get(field)
+	if v == "" {
+		return 0, fmt.Errorf("%w: missing %s", ErrBadRequest, field)
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad %s %q", ErrBadRequest, field, v)
+	}
+	return n, nil
+}
+
+func snapshotKeyFromQuery(q url.Values) (snapshot.Key, error) {
+	insts, err := storeKeyUint(q, "insts")
+	if err != nil {
+		return snapshot.Key{}, err
+	}
+	if q.Get("workload") == "" {
+		return snapshot.Key{}, fmt.Errorf("%w: missing workload", ErrBadRequest)
+	}
+	return snapshot.Key{Workload: q.Get("workload"), Args: q.Get("args"), Insts: insts}, nil
+}
+
+func streamKeyFromQuery(q url.Values) (replay.Key, error) {
+	span, err := storeKeyUint(q, "span")
+	if err != nil {
+		return replay.Key{}, err
+	}
+	if q.Get("workload") == "" {
+		return replay.Key{}, fmt.Errorf("%w: missing workload", ErrBadRequest)
+	}
+	return replay.Key{Workload: q.Get("workload"), Args: q.Get("args"), Span: span}, nil
+}
+
+// writeBlob sends an encoded blob with its content hash.
+func writeBlob(w http.ResponseWriter, b []byte) {
+	h := sha256.Sum256(b)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Content-SHA256", hex.EncodeToString(h[:]))
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	_, _ = w.Write(b)
+}
+
+// readBlob reads a bounded PUT body.
+func readBlob(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	b, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxStoreBlobBytes))
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, fmt.Errorf("reading blob: %w", err))
+		return nil, false
+	}
+	return b, true
+}
+
+func (s *Service) handleSnapshotGet(w http.ResponseWriter, r *http.Request) {
+	k, err := snapshotKeyFromQuery(r.URL.Query())
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, ok, err := s.cfg.PublishCheckpoints.Get(k)
+	if err != nil {
+		writeJSONError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if !ok {
+		writeJSONError(w, http.StatusNotFound, fmt.Errorf("no checkpoint for %s", k))
+		return
+	}
+	writeBlob(w, st.Encode())
+}
+
+func (s *Service) handleSnapshotPut(w http.ResponseWriter, r *http.Request) {
+	k, err := snapshotKeyFromQuery(r.URL.Query())
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err)
+		return
+	}
+	b, ok := readBlob(w, r)
+	if !ok {
+		return
+	}
+	st, err := snapshot.Decode(b)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, fmt.Errorf("decoding checkpoint: %w", err))
+		return
+	}
+	if err := s.cfg.PublishCheckpoints.Put(k, st); err != nil {
+		writeJSONError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Service) handleStreamGet(w http.ResponseWriter, r *http.Request) {
+	k, err := streamKeyFromQuery(r.URL.Query())
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.cfg.PublishStreams == nil {
+		// This node persists no streams; to a peer that is simply a miss.
+		writeJSONError(w, http.StatusNotFound, fmt.Errorf("no stream store on this node"))
+		return
+	}
+	st, ok, err := s.cfg.PublishStreams.Get(k)
+	if err != nil {
+		writeJSONError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if !ok {
+		writeJSONError(w, http.StatusNotFound, fmt.Errorf("no stream for %s", k))
+		return
+	}
+	writeBlob(w, st.Encode())
+}
+
+func (s *Service) handleStreamPut(w http.ResponseWriter, r *http.Request) {
+	k, err := streamKeyFromQuery(r.URL.Query())
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.cfg.PublishStreams == nil {
+		writeJSONError(w, http.StatusNotImplemented, fmt.Errorf("no stream store on this node"))
+		return
+	}
+	b, ok := readBlob(w, r)
+	if !ok {
+		return
+	}
+	st, err := replay.Decode(b)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, fmt.Errorf("decoding stream: %w", err))
+		return
+	}
+	if err := s.cfg.PublishStreams.Put(k, st); err != nil {
+		writeJSONError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -1,0 +1,184 @@
+#!/bin/sh
+# End-to-end smoke test for the distributed sweep fabric: build sfcserve +
+# sfcload, start a coordinator and two loopback workers (plus a single-node
+# reference server), and assert that
+#   - the coordinator reports both workers healthy,
+#   - a sweep grid routed through the coordinator is byte-identical (in
+#     sfcload -canonical form) to the same grid on a single node,
+#   - placement routing keeps each workload's replay stream on exactly one
+#     node: the fleet-wide replay_materialized sum equals the workload count,
+#   - killing a worker mid-sweep reroutes its points and the rerun is still
+#     byte-identical to the single-node reference,
+#   - the dead worker is ejected (healthy_workers drops to 1),
+#   - SIGTERM drains the coordinator and the surviving worker cleanly.
+# Run via `make cluster-smoke`; part of `make ci`.
+set -eu
+
+TMP=$(mktemp -d)
+COORD_PID=
+W1_PID=
+W2_PID=
+SINGLE_PID=
+cleanup() {
+    for pid in "$COORD_PID" "$W1_PID" "$W2_PID" "$SINGLE_PID"; do
+        if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+            kill -KILL "$pid" 2>/dev/null || true
+        fi
+    done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "cluster-smoke: building binaries"
+go build -o "$TMP/sfcserve" ./cmd/sfcserve
+go build -o "$TMP/sfcload" ./cmd/sfcload
+
+# wait_addr FILE PID NAME LOG: poll an atomically-written addr file.
+wait_addr() {
+    i=0
+    while [ ! -s "$1" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "cluster-smoke: $3 never published its address" >&2
+            cat "$4" >&2
+            exit 1
+        fi
+        if ! kill -0 "$2" 2>/dev/null; then
+            echo "cluster-smoke: $3 exited during startup" >&2
+            cat "$4" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+# Single-node reference server: the ground truth the cluster output must
+# byte-match after canonicalization.
+"$TMP/sfcserve" -addr 127.0.0.1:0 -addr-file "$TMP/single.addr" \
+    -workers 1 -drain 30s >"$TMP/single.log" 2>&1 &
+SINGLE_PID=$!
+
+# Coordinator + two workers, all on ephemeral ports. Short probe/heartbeat
+# intervals so failure detection fits a smoke test's timescale.
+"$TMP/sfcserve" -coordinator -addr 127.0.0.1:0 -addr-file "$TMP/coord.addr" \
+    -probe-interval 250ms -drain 30s >"$TMP/coord.log" 2>&1 &
+COORD_PID=$!
+wait_addr "$TMP/coord.addr" "$COORD_PID" coordinator "$TMP/coord.log"
+COORD=$(cat "$TMP/coord.addr")
+
+"$TMP/sfcserve" -addr 127.0.0.1:0 -addr-file "$TMP/w1.addr" -workers 1 \
+    -join "http://$COORD" -heartbeat 250ms -cluster-dir "$TMP/node1" \
+    -drain 30s >"$TMP/w1.log" 2>&1 &
+W1_PID=$!
+"$TMP/sfcserve" -addr 127.0.0.1:0 -addr-file "$TMP/w2.addr" -workers 1 \
+    -join "http://$COORD" -heartbeat 250ms -cluster-dir "$TMP/node2" \
+    -drain 30s >"$TMP/w2.log" 2>&1 &
+W2_PID=$!
+wait_addr "$TMP/single.addr" "$SINGLE_PID" single-node "$TMP/single.log"
+wait_addr "$TMP/w1.addr" "$W1_PID" worker1 "$TMP/w1.log"
+wait_addr "$TMP/w2.addr" "$W2_PID" worker2 "$TMP/w2.log"
+SINGLE=$(cat "$TMP/single.addr")
+W1=$(cat "$TMP/w1.addr")
+W2=$(cat "$TMP/w2.addr")
+
+healthy() {
+    "$TMP/sfcload" -addr "$COORD" -stats | awk '$1=="healthy_workers"{print $2}'
+}
+
+i=0
+while [ "$(healthy)" != "2" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "cluster-smoke: workers never registered (healthy=$(healthy))" >&2
+        cat "$TMP/coord.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+echo "cluster-smoke: coordinator at $COORD with 2 healthy workers ($W1, $W2)"
+
+# --- Grid 1: placement + bit-identical routing on a healthy fleet --------
+GRID1="-insts 3000 -workloads gzip,mcf,swim -mems mdtsfc,lsq"
+"$TMP/sfcload" -addr "$SINGLE" -sweep -canonical $GRID1 >"$TMP/grid1.single"
+"$TMP/sfcload" -addr "$COORD" -sweep -canonical $GRID1 >"$TMP/grid1.cluster"
+if ! cmp -s "$TMP/grid1.single" "$TMP/grid1.cluster"; then
+    echo "cluster-smoke: cluster sweep differs from single-node sweep" >&2
+    diff "$TMP/grid1.single" "$TMP/grid1.cluster" >&2 || true
+    exit 1
+fi
+echo "cluster-smoke: cluster sweep byte-identical to single node"
+
+# Each workload's stream materialized on exactly one node: the fleet-wide
+# sum of replay_materialized equals the workload count (3), not 3 x nodes.
+M1=$("$TMP/sfcload" -addr "$W1" -stats | awk '$1=="replay_materialized"{print $2}')
+M2=$("$TMP/sfcload" -addr "$W2" -stats | awk '$1=="replay_materialized"{print $2}')
+if [ "$((M1 + M2))" -ne 3 ]; then
+    echo "cluster-smoke: fleet materialized $M1+$M2 streams for 3 workloads" >&2
+    exit 1
+fi
+echo "cluster-smoke: placement OK (3 workloads, $M1+$M2 functional passes)"
+
+# --- Grid 2: kill a worker mid-sweep; reroute must stay bit-identical ----
+GRID2="-insts 100000 -workloads gzip,mcf,swim,bzip2 -mems mdtsfc,lsq"
+"$TMP/sfcload" -addr "$SINGLE" -sweep -canonical $GRID2 >"$TMP/grid2.single"
+
+"$TMP/sfcload" -addr "$COORD" -sweep -canonical $GRID2 >"$TMP/grid2.cluster" &
+SWEEP_PID=$!
+sleep 0.3
+kill -KILL "$W2_PID"
+W2_PID=
+echo "cluster-smoke: killed worker2 mid-sweep"
+STATUS=0
+wait "$SWEEP_PID" || STATUS=$?
+if [ "$STATUS" -ne 0 ]; then
+    echo "cluster-smoke: sweep failed after worker kill (exit $STATUS)" >&2
+    cat "$TMP/grid2.cluster" >&2
+    cat "$TMP/coord.log" >&2
+    exit 1
+fi
+if ! cmp -s "$TMP/grid2.single" "$TMP/grid2.cluster"; then
+    echo "cluster-smoke: rerouted sweep differs from single-node sweep" >&2
+    diff "$TMP/grid2.single" "$TMP/grid2.cluster" >&2 || true
+    exit 1
+fi
+echo "cluster-smoke: mid-sweep kill rerouted; output still byte-identical"
+
+i=0
+while [ "$(healthy)" != "1" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "cluster-smoke: dead worker never ejected (healthy=$(healthy))" >&2
+        cat "$TMP/coord.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+echo "cluster-smoke: dead worker ejected (1 healthy)"
+
+# --- Graceful drain of the survivors --------------------------------------
+for name in worker1 coordinator; do
+    case $name in
+    worker1) pid=$W1_PID log="$TMP/w1.log" ;;
+    coordinator) pid=$COORD_PID log="$TMP/coord.log" ;;
+    esac
+    kill -TERM "$pid"
+    STATUS=0
+    wait "$pid" || STATUS=$?
+    case $name in
+    worker1) W1_PID= ;;
+    coordinator) COORD_PID= ;;
+    esac
+    if [ "$STATUS" -ne 0 ]; then
+        echo "cluster-smoke: $name exited $STATUS on SIGTERM" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+    if ! grep -q "clean shutdown" "$log"; then
+        echo "cluster-smoke: $name log missing clean-shutdown line" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+done
+kill -TERM "$SINGLE_PID" && wait "$SINGLE_PID" || true
+SINGLE_PID=
+echo "cluster-smoke: PASS (clean drain)"
