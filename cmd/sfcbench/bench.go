@@ -607,6 +607,86 @@ func benchIssueScan(insts uint64) (benchResult, error) {
 	})
 }
 
+// ---------------------------------------------------------------------------
+// Idle-cycle elision (DESIGN.md §13): the stall-heavy pointer chase keeps at
+// most one serial load miss in flight, leaving the machine fully quiescent
+// for the ~hundred-cycle L2 round trip between dispatches.
+// pipeline-stall-cycle runs the shipped eliding loop; the -noelide row pins
+// the stepped oracle (Config.NoElide) that the differential tests compare
+// against, kept informational like issue-scan so the replaced behaviour
+// stays measurable without being gated. One op = one full run of the chase;
+// ns/op is then divided by the run's simulated cycle count so both rows read
+// as nanoseconds per simulated cycle, comparable to pipeline-steady-cycle.
+// Allocs/op and B/op stay raw per-run: a full eliding run on a warm pipeline
+// must not allocate at all, and the baseline's zero-byte guarantee gates
+// exactly that (the Reset between runs is off the clock).
+
+func benchStallRun(name string, insts uint64, noElide bool) (benchResult, error) {
+	if insts < 20_000 {
+		insts = 20_000
+	} else if insts > 50_000 {
+		insts = 50_000 // the stepped oracle pays ~40 simulated cycles per inst
+	}
+	w, ok := workload.Get("ptrchase")
+	if !ok {
+		return benchResult{}, fmt.Errorf("workload ptrchase not registered")
+	}
+	img := w.Build()
+	cfg := harness.BaselineConfig(harness.MDTSFCEnf, insts)
+	cfg.NoElide = noElide
+	tr, err := arch.RunTrace(img, insts)
+	if err != nil {
+		return benchResult{}, err
+	}
+	p, err := pipeline.NewWithTrace(cfg, img, tr)
+	if err != nil {
+		return benchResult{}, err
+	}
+	// One throwaway run warms the entry pool, wheel buckets, and the image's
+	// store-touched pages, so the timed runs measure pure steady state.
+	if _, err := p.Run(); err != nil {
+		return benchResult{}, err
+	}
+	var cycles, retired, elided uint64
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			if err := p.Reset(cfg, img, tr); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			st, err := p.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles, retired, elided = st.Cycles, st.Retired, st.CyclesElided
+		}
+	})
+	if noElide && elided != 0 {
+		return benchResult{}, fmt.Errorf("%s: NoElide oracle elided %d cycles", name, elided)
+	}
+	if !noElide && elided == 0 {
+		return benchResult{}, fmt.Errorf("%s: eliding run elided nothing", name)
+	}
+	row := fromResult(name, res)
+	if row.NsPerOp > 0 {
+		row.MIPS = float64(retired) * 1e3 / row.NsPerOp
+	}
+	if cycles > 0 {
+		row.NsPerOp /= float64(cycles)
+	}
+	return row, nil
+}
+
+func benchStallElide(insts uint64) (benchResult, error) {
+	return benchStallRun("pipeline-stall-cycle", insts, false)
+}
+
+func benchStallNoElide(insts uint64) (benchResult, error) {
+	return benchStallRun("pipeline-stall-cycle-noelide", insts, true)
+}
+
 func benchFigure5(insts uint64) (benchResult, error) {
 	var benchErr error
 	res := testing.Benchmark(func(b *testing.B) {
@@ -659,6 +739,8 @@ var benchSuite = []benchEntry{
 	{"issue-wakeup", benchIssueWakeup},
 	{"issue-scan", benchIssueScan},
 	{"pipeline-steady-cycle", benchPipelineCycle},
+	{"pipeline-stall-cycle", benchStallElide},
+	{"pipeline-stall-cycle-noelide", benchStallNoElide},
 	{"figure5-macro", benchFigure5},
 }
 
@@ -666,9 +748,10 @@ var benchSuite = []benchEntry{
 // so the win stays visible. They are not shipped code, so the comparator
 // does not gate their timings.
 var informational = map[string]bool{
-	"event-map-cycle":      true,
-	"entry-unpooled-cycle": true,
-	"issue-scan":           true,
+	"event-map-cycle":              true,
+	"entry-unpooled-cycle":         true,
+	"issue-scan":                   true,
+	"pipeline-stall-cycle-noelide": true,
 }
 
 // machineDependent entries' timings and allocation counts vary with the

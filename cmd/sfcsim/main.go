@@ -58,6 +58,7 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "on-disk checkpoint store backing the fast-forward (default: none)")
 	replayDir := flag.String("replay-dir", "", "on-disk replay-stream store: the functional reference stream is loaded from (or saved to) DIR instead of re-traced per invocation")
 	lockstep := flag.Bool("lockstep", false, "consume the golden-model trace in lockstep instead of a columnar replay stream (oracle mode; bit-identical results)")
+	noElide := flag.Bool("noelide", false, "step every cycle instead of eliding quiescent spans (oracle mode; bit-identical results except the elided-cycle count)")
 	jsonOut := flag.Bool("json", false, "emit the run as service.Result JSON (the sfcserve schema)")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
@@ -98,6 +99,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sfcsim: unknown config %q\n", *cfgName)
 		os.Exit(2)
 	}
+	cfg.NoElide = *noElide
 
 	if *ff > 0 || *sMeasure > 0 {
 		plan := sample.Plan{FastForward: *ff, Warm: *sWarm, Measure: *sMeasure, Intervals: *sIntervals}
@@ -169,7 +171,12 @@ func main() {
 // writeStats renders the per-run counter table shared by the full and
 // sampled reports.
 func writeStats(tw *tabwriter.Writer, s *metrics.Stats) {
-	fmt.Fprintf(tw, "cycles\t%d\n", s.Cycles)
+	if s.CyclesElided > 0 {
+		fmt.Fprintf(tw, "cycles\t%d (%d elided, %.1f%%)\n", s.Cycles, s.CyclesElided,
+			100*float64(s.CyclesElided)/float64(s.Cycles))
+	} else {
+		fmt.Fprintf(tw, "cycles\t%d\n", s.Cycles)
+	}
 	fmt.Fprintf(tw, "retired\t%d (loads %d, stores %d)\n", s.Retired, s.RetiredLoads, s.RetiredStores)
 	fmt.Fprintf(tw, "IPC\t%.3f\n", s.IPC())
 	fmt.Fprintf(tw, "avg ROB occupancy\t%.1f (max %d)\n", s.AvgOccupancy(), s.MaxOccupancy)

@@ -217,6 +217,19 @@ func (p *Predictor) Lookup(pc uint64) (Dispatch, bool) {
 	return d, true
 }
 
+// LookupWouldStall reports whether Lookup(pc) would return ok=false — the
+// instruction is a predicted producer (PT hit) and the tag pool is empty —
+// without performing the access. Unlike a failed Lookup it is free of side
+// effects: it does not count a TagStall, and it skips the consumer-reference
+// take-and-undo (which a failed Lookup performs but which is itself net
+// zero, since a valid LFPT entry always holds its own reference and thus
+// never drops to zero during the undo). Idle-cycle elision uses it to prove
+// that a tag-stalled dispatch stays stalled, then folds TagStalls in closed
+// form over the skipped span.
+func (p *Predictor) LookupWouldStall(pc uint64) bool {
+	return p.cfg.Mode != PredOff && p.pt[p.ptIdx(pc)] != 0 && len(p.freeTags) == 0
+}
+
 func (p *Predictor) allocTag() (TagID, bool) {
 	n := len(p.freeTags)
 	if n == 0 {

@@ -108,6 +108,7 @@ type Runner struct {
 	pipes sync.Pool // stores *pipeline.Pipeline
 
 	retired atomic.Uint64 // instructions retired across all runs
+	elided  atomic.Uint64 // cycles skipped by idle-cycle elision across all runs
 }
 
 // NewRunner builds a runner with the given per-run instruction budget.
@@ -130,6 +131,12 @@ func (r *Runner) progress(format string, args ...any) {
 // this runner has executed — the numerator of the benchmark harness's
 // simulated-MIPS figure.
 func (r *Runner) TotalRetired() uint64 { return r.retired.Load() }
+
+// TotalCyclesElided returns the number of simulated cycles idle-cycle
+// elision skipped (in closed form, instead of stepping) across every run
+// this runner has executed — the serving-side visibility into how much of
+// the simulated time was quiescent.
+func (r *Runner) TotalCyclesElided() uint64 { return r.elided.Load() }
 
 // materialize returns the cached image and reference stream for a workload,
 // building them at most once even under concurrent misses. In the default
@@ -219,6 +226,7 @@ func (r *Runner) runSampled(ctx context.Context, cfg pipeline.Config, w workload
 		res.Sample = sres
 		res.Stats = sres.Measured
 		r.retired.Add(sres.Measured.Retired)
+		r.elided.Add(sres.Measured.CyclesElided)
 	}
 	if err != nil {
 		res.Err = err
@@ -266,6 +274,7 @@ func (r *Runner) RunContext(ctx context.Context, cfg pipeline.Config, w workload
 	res.Stats = &stats
 	res.Err = err
 	r.retired.Add(stats.Retired)
+	r.elided.Add(stats.CyclesElided)
 	r.pipes.Put(p)
 	if err == nil {
 		r.progress("done %-12s %-28s IPC=%.3f", w.Name, cfg.Name, stats.IPC())

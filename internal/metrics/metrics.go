@@ -8,8 +8,13 @@ import "fmt"
 
 // Stats is the full counter set for one pipeline run.
 type Stats struct {
-	// Progress.
+	// Progress. CyclesElided counts the subset of Cycles the run loop
+	// skipped in closed form because the machine was provably quiescent
+	// (idle-cycle elision); it is always zero under Config.NoElide and is
+	// a property of the simulator, not the simulated machine — every other
+	// counter is bit-identical with elision on or off.
 	Cycles        uint64
+	CyclesElided  uint64
 	Retired       uint64
 	RetiredLoads  uint64
 	RetiredStores uint64

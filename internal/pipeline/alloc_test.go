@@ -69,6 +69,55 @@ func TestSteadyStateCycleZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestElideLoopZeroAllocs extends the zero-alloc guarantee to the eliding
+// run loop: step-plus-tryElide on the stall-heavy pointer chase — quiescence
+// proofs, NextAt scans, and closed-form folds included — must not allocate.
+// The chase has no memory-ordering violations, so the demand is exactly
+// zero, same as the stepped gate above.
+func TestElideLoopZeroAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"mdtsfc", testConfigs(0)[0]},
+		{"lsq", testConfigs(0)[1]},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := buildWorkloadPipeline(t, "ptrchase", tc.cfg, 400_000)
+			if !p.elides() {
+				t.Fatal("config does not elide")
+			}
+			for i := 0; i < 2_000 || p.Stats().CyclesElided == 0; i++ {
+				if !p.Step() {
+					t.Fatalf("pipeline finished during warmup (retired %d)", p.Stats().Retired)
+				}
+				p.tryElide()
+			}
+			const stepsPerRun = 500
+			before := p.Stats().CyclesElided
+			avg := testing.AllocsPerRun(5, func() {
+				for i := 0; i < stepsPerRun; i++ {
+					p.step()
+					if !p.done {
+						p.tryElide()
+					}
+				}
+			})
+			if p.done {
+				t.Fatalf("pipeline finished during measurement (retired %d); raise MaxInsts", p.Stats().Retired)
+			}
+			if p.Stats().CyclesElided == before {
+				t.Fatal("measurement window elided nothing")
+			}
+			perIter := avg / stepsPerRun
+			if perIter != 0 {
+				t.Errorf("eliding loop allocates %.4f allocs per step+elide (%.0f per %d), want 0",
+					perIter, avg, stepsPerRun)
+			}
+		})
+	}
+}
+
 // TestResetMatchesFresh verifies that a pipeline recycled through Reset —
 // even across a change of workload, memory subsystem, and geometry — runs
 // bit-identically to a freshly-constructed pipeline.

@@ -132,6 +132,15 @@ type Config struct {
 	// differential test enforces it); the scan is kept as the oracle and for
 	// the issue-scan benchmark entry.
 	LinearScanScheduler bool
+
+	// NoElide disables idle-cycle elision: the run loop steps every cycle
+	// individually instead of jumping over provably quiescent spans. Kept
+	// as the oracle for the elision differential test (TestElideEquivalence)
+	// and the pipeline-stall-cycle-noelide benchmark entry. Elision is also
+	// implicitly off under LinearScanScheduler, whose per-cycle re-polling
+	// the quiescence predicate does not model. Stats are bit-identical
+	// either way, except that Stats.CyclesElided stays zero here.
+	NoElide bool
 }
 
 // Validate fills defaults and checks consistency.

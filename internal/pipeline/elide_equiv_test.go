@@ -1,0 +1,211 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestElideEquivalence pins idle-cycle elision to the stepped oracle the
+// same way TestSchedulerEquivalence pins the wakeup scheduler to the linear
+// scan: across ~200 random programs and every equivalence configuration
+// (MDT/SFC pairwise and total-order, LSQ, value replay), a run with
+// Config.NoElide must produce identical statistics to the eliding default —
+// every counter in metrics.Stats except CyclesElided itself, which is a
+// property of the run loop, not the simulated machine. Any divergence means
+// the quiescence predicate skipped a cycle on which a stage could have
+// acted, or folded a counter it shouldn't have.
+func TestElideEquivalence(t *testing.T) {
+	n := 200
+	if testing.Short() {
+		n = 30
+	}
+	var totalElided uint64
+	for seed := 0; seed < n; seed++ {
+		r := rand.New(rand.NewSource(int64(seed)*92821 + 7))
+		img := randomProgram(r, fmt.Sprintf("el%d", seed))
+		for _, cfg := range schedEquivConfigs() {
+			oracleCfg := cfg
+			oracleCfg.NoElide = true
+			oracle, err := New(oracleCfg, img)
+			if err != nil {
+				t.Fatalf("seed %d %s noelide: %v", seed, cfg.Name, err)
+			}
+			want, err := oracle.Run()
+			if err != nil {
+				t.Fatalf("seed %d %s noelide: %v", seed, cfg.Name, err)
+			}
+			if want.CyclesElided != 0 {
+				t.Fatalf("seed %d %s: NoElide oracle elided %d cycles", seed, cfg.Name, want.CyclesElided)
+			}
+			eliding, err := New(cfg, img)
+			if err != nil {
+				t.Fatalf("seed %d %s elide: %v", seed, cfg.Name, err)
+			}
+			got, err := eliding.Run()
+			if err != nil {
+				t.Fatalf("seed %d %s elide: %v", seed, cfg.Name, err)
+			}
+			totalElided += got.CyclesElided
+			got.CyclesElided = 0
+			if *got != *want {
+				t.Errorf("seed %d %s: elided run diverged from stepped oracle\nstepped: %+v\nelided:  %+v",
+					seed, cfg.Name, *want, *got)
+			}
+		}
+	}
+	// The matrix must actually exercise elision, not vacuously pass with
+	// zero quiescent spans.
+	if totalElided == 0 {
+		t.Fatal("no cycles were elided across the whole equivalence matrix")
+	}
+}
+
+// TestElideEquivalencePtrChase anchors the stall-heavy case the elision was
+// built for: on the serial L2-miss pointer chase, both memory subsystems
+// must match the stepped oracle bit-for-bit while eliding the large
+// majority of all cycles.
+func TestElideEquivalencePtrChase(t *testing.T) {
+	const insts = 30_000
+	for _, cfg := range testConfigs(insts) {
+		t.Run(cfg.Name, func(t *testing.T) {
+			oracleCfg := cfg
+			oracleCfg.NoElide = true
+			oracle := buildWorkloadPipeline(t, "ptrchase", oracleCfg, insts)
+			want, err := oracle.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			eliding := buildWorkloadPipeline(t, "ptrchase", cfg, insts)
+			got, err := eliding.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			elided := got.CyclesElided
+			got.CyclesElided = 0
+			if *got != *want {
+				t.Fatalf("elided run diverged from stepped oracle\nstepped: %+v\nelided:  %+v", *want, *got)
+			}
+			// Each chase load is an ~112-cycle L2 miss with the machine
+			// quiescent for most of it; anything under half elided means
+			// the predicate is refusing spans it should prove.
+			if elided*2 < got.Cycles {
+				t.Fatalf("elided only %d of %d cycles on the pointer chase", elided, got.Cycles)
+			}
+		})
+	}
+}
+
+// TestElideWatchdogEquivalence pins the jump's watchdog caps: a run that
+// dies on the cycle-limit deadlock guard mid-quiescence must fail on the
+// same cycle, with the same error text and statistics, as the stepped loop
+// — the jump lands exactly on the deadline instead of sailing past it.
+func TestElideWatchdogEquivalence(t *testing.T) {
+	cfg := testConfigs(40_000)[0]
+	cfg.MaxCycles = 5_000 // well inside the chase: trips mid-run
+
+	oracleCfg := cfg
+	oracleCfg.NoElide = true
+	oracle := buildWorkloadPipeline(t, "ptrchase", oracleCfg, 40_000)
+	want, wantErr := oracle.Run()
+	if wantErr == nil {
+		t.Fatal("stepped oracle did not hit the cycle limit")
+	}
+	eliding := buildWorkloadPipeline(t, "ptrchase", cfg, 40_000)
+	got, gotErr := eliding.Run()
+	if gotErr == nil {
+		t.Fatal("elided run did not hit the cycle limit")
+	}
+	if gotErr.Error() != wantErr.Error() {
+		t.Fatalf("error text diverged:\nstepped: %v\nelided:  %v", wantErr, gotErr)
+	}
+	if got.CyclesElided == 0 {
+		t.Fatal("run died at the cycle limit without eliding anything")
+	}
+	got.CyclesElided = 0
+	if *got != *want {
+		t.Fatalf("stats at the cycle limit diverged\nstepped: %+v\nelided:  %+v", *want, *got)
+	}
+}
+
+// TestElideCancelMidSkip covers the poll-scheduling fix: one elided jump
+// can cross many ctxCheckCycles boundaries, and the loop must rebase its
+// next poll on the post-jump cycle so a canceled context is still observed
+// within one poll interval of wall-clock work. The context is canceled
+// before the run starts; the run must abandon at (about) the first poll
+// boundary even though the clock is leaping hundreds of cycles at a time.
+func TestElideCancelMidSkip(t *testing.T) {
+	const insts = 100_000 // ~3.8M cycles of chase: far past the cancel point
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	for _, runner := range []struct {
+		name string
+		run  func(p *Pipeline) error
+	}{
+		{"RunContext", func(p *Pipeline) error { _, err := p.RunContext(ctx); return err }},
+		{"RunUntilRetired", func(p *Pipeline) error { _, err := p.RunUntilRetired(ctx, insts); return err }},
+	} {
+		t.Run(runner.name, func(t *testing.T) {
+			p := buildWorkloadPipeline(t, "ptrchase", testConfigs(insts)[0], insts)
+			err := runner.run(p)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			st := p.Stats()
+			if st.CyclesElided == 0 {
+				t.Fatal("no cycles elided before the poll — the test exercised nothing")
+			}
+			// The first poll boundary is ctxCheckCycles in; the overshoot
+			// past it is at most one elided jump, which on this workload is
+			// bounded by the L2-miss latency. 2*ctxCheckCycles is generous.
+			if st.Cycles > 2*ctxCheckCycles {
+				t.Fatalf("canceled run still simulated %d cycles (poll cadence not rebased after jumps?)", st.Cycles)
+			}
+		})
+	}
+}
+
+// TestElideResetReuse recycles one pipeline between eliding and stepped
+// runs, the way the harness's pipeline pool does, so elision state (there
+// should be none — it is all derived per cycle) can never leak across
+// Reset.
+func TestElideResetReuse(t *testing.T) {
+	r := rand.New(rand.NewSource(424243))
+	img := randomProgram(r, "elreuse")
+	cfg := schedEquivConfigs()[0]
+	noElideCfg := cfg
+	noElideCfg.NoElide = true
+
+	p, err := New(noElideCfg, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := *want
+	for i := 0; i < 3; i++ {
+		for _, c := range []Config{cfg, noElideCfg} {
+			fresh, err := New(c, img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Reset(c, fresh.img, fresh.src); err != nil {
+				t.Fatal(err)
+			}
+			got, err := p.Run()
+			if err != nil {
+				t.Fatalf("round %d %s noelide=%v: %v", i, c.Name, c.NoElide, err)
+			}
+			got.CyclesElided = 0
+			if *got != ref {
+				t.Fatalf("round %d %s noelide=%v: stats diverged after reset reuse\nwant: %+v\ngot:  %+v",
+					i, c.Name, c.NoElide, ref, *got)
+			}
+		}
+	}
+}

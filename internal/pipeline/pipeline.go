@@ -501,10 +501,22 @@ func (p *Pipeline) fail(err error) {
 }
 
 // Run simulates until the whole trace has retired (or an error occurs) and
-// returns the final statistics.
+// returns the final statistics. Unless Config.NoElide pins the stepped
+// oracle, each step is followed by an elision attempt that jumps the clock
+// over provably quiescent spans (see elide.go); the two loops are
+// bit-identical in everything but wall time and Stats.CyclesElided.
 func (p *Pipeline) Run() (*metrics.Stats, error) {
+	if !p.elides() {
+		for !p.done {
+			p.step()
+		}
+		return p.finalize(), p.err
+	}
 	for !p.done {
 		p.step()
+		if !p.done {
+			p.tryElide()
+		}
 	}
 	return p.finalize(), p.err
 }
@@ -528,9 +540,17 @@ func (p *Pipeline) RunContext(ctx context.Context) (*metrics.Stats, error) {
 	if ctx.Done() == nil {
 		return p.Run()
 	}
+	elide := p.elides()
 	check := p.cycle + ctxCheckCycles
 	for !p.done {
 		p.step()
+		if elide && !p.done {
+			p.tryElide()
+		}
+		// One elided jump can cross many poll boundaries; rebasing check on
+		// the post-jump cycle (not check += ctxCheckCycles) keeps the poll
+		// cadence bounded in wall time, which is what cancellation latency
+		// is measured in — an elided span costs no wall time to cross.
 		if p.cycle >= check {
 			check = p.cycle + ctxCheckCycles
 			if err := ctx.Err(); err != nil {
@@ -551,9 +571,15 @@ func (p *Pipeline) RunContext(ctx context.Context) (*metrics.Stats, error) {
 // folds are idempotent assignments, so finalizing mid-run is safe.
 func (p *Pipeline) RunUntilRetired(ctx context.Context, n uint64) (*metrics.Stats, error) {
 	poll := ctx.Done() != nil
+	elide := p.elides()
 	check := p.cycle + ctxCheckCycles
 	for !p.done && uint64(p.retired) < n {
 		p.step()
+		// No elision once the target is met: the caller must observe the
+		// exact cycle the n-th retirement happened on, not a post-jump one.
+		if elide && !p.done && uint64(p.retired) < n {
+			p.tryElide()
+		}
 		if poll && p.cycle >= check {
 			check = p.cycle + ctxCheckCycles
 			if err := ctx.Err(); err != nil {
@@ -636,10 +662,23 @@ func (p *Pipeline) step() {
 	if uint64(p.rob.len()) > p.stats.MaxOccupancy {
 		p.stats.MaxOccupancy = uint64(p.rob.len())
 	}
+	p.checkWatchdogs()
+}
+
+// noRetireCycles is the deadlock watchdog's patience: a run with no
+// retirement for this many cycles fails. tryElide caps its jumps at the
+// watchdog deadlines so an elided span trips them at the same cycle, with
+// the same message, as the stepped loop.
+const noRetireCycles = 500_000
+
+// checkWatchdogs fails the run when the cycle counter crosses either
+// deadline. Called with the post-increment cycle value: after every stepped
+// cycle and after every elided jump.
+func (p *Pipeline) checkWatchdogs() {
 	if p.cycle >= p.cfg.MaxCycles {
 		p.fail(fmt.Errorf("cycle limit %d exceeded (possible deadlock; ROB=%d, fq=%d)", p.cfg.MaxCycles, p.rob.len(), p.fq.len()))
 	}
-	if p.cycle-p.lastRetireCycle > 500_000 {
+	if p.cycle-p.lastRetireCycle > noRetireCycles {
 		p.fail(fmt.Errorf("no retirement for 500k cycles (deadlock; ROB=%d head=%+v)", p.rob.len(), p.headInfo()))
 	}
 }

@@ -1,0 +1,82 @@
+package sample_test
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"sfcmdt/internal/harness"
+	"sfcmdt/internal/sample"
+)
+
+// TestElideSampledEquivalence pins idle-cycle elision under sampled
+// multi-interval plans and under RunParallel at several GOMAXPROCS
+// settings: against the Config.NoElide stepped oracle, the occupancy
+// statistics (OccupancySum, MaxOccupancy), every other merged counter, the
+// per-interval IPCs, and the CV of interval IPC must all match exactly.
+// Elision changes how the clock advances, never what any interval measures
+// — CyclesElided itself, a run-loop property, is the one field normalized
+// before comparison. The pointer-chase workload makes the elided spans
+// dominate; gzip covers the mostly-busy case where spans are rare.
+func TestElideSampledEquivalence(t *testing.T) {
+	plan := sample.Plan{FastForward: 2_000, Warm: 300, Measure: 700, Intervals: 6}
+	cfg := harness.BaselineConfig(harness.MDTSFCEnf, 0)
+	oracleCfg := cfg
+	oracleCfg.NoElide = true
+
+	for _, name := range []string{"ptrchase", "gzip"} {
+		ivs, err := sample.Prepare(image(t, name).Img, plan, nil, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ivs.Run(context.Background(), oracleCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Measured.CyclesElided != 0 {
+			t.Fatalf("%s: NoElide oracle elided %d cycles", name, want.Measured.CyclesElided)
+		}
+
+		check := func(label string, got *sample.Result) {
+			t.Helper()
+			if got.Measured.OccupancySum != want.Measured.OccupancySum ||
+				got.Measured.MaxOccupancy != want.Measured.MaxOccupancy {
+				t.Errorf("%s: occupancy stats diverged: sum %d/%d max %d/%d", label,
+					got.Measured.OccupancySum, want.Measured.OccupancySum,
+					got.Measured.MaxOccupancy, want.Measured.MaxOccupancy)
+			}
+			g := *got.Measured
+			g.CyclesElided = 0
+			if g != *want.Measured {
+				t.Errorf("%s: merged stats diverged:\n want %+v\n got  %+v", label, *want.Measured, g)
+			}
+			if !reflect.DeepEqual(got.IntervalIPC, want.IntervalIPC) {
+				t.Errorf("%s: IntervalIPC diverged:\n want %v\n got  %v", label, want.IntervalIPC, got.IntervalIPC)
+			}
+			if math.Float64bits(got.CV) != math.Float64bits(want.CV) {
+				t.Errorf("%s: CV of interval IPC diverged: want %v got %v", label, want.CV, got.CV)
+			}
+		}
+
+		got, err := ivs.Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name == "ptrchase" && got.Measured.CyclesElided == 0 {
+			t.Fatal("sampled pointer chase elided nothing")
+		}
+		check(name+"/serial", got)
+
+		for _, procs := range []int{1, 2, runtime.NumCPU() + 2} {
+			prev := runtime.GOMAXPROCS(procs)
+			pgot, err := ivs.RunParallel(context.Background(), cfg, plan.Intervals, nil)
+			runtime.GOMAXPROCS(prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(name+"/parallel", pgot)
+		}
+	}
+}

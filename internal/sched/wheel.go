@@ -91,6 +91,38 @@ func (w *Wheel[T]) Due(now uint64) []T {
 	return w.scratch
 }
 
+// NextAt returns the cycle of the earliest pending event at or after from,
+// assuming Due has been called for every cycle before from. Under that
+// invariant each non-empty bucket holds events for exactly one cycle in
+// [from, from+horizon), namely the unique cycle mapping to its index, so a
+// forward scan from from finds the earliest in-horizon event; overflow
+// entries (scheduled beyond the horizon, drained lazily by Due) are compared
+// by their recorded absolute cycle. The second result is false when the
+// wheel is empty. Idle-cycle elision uses this to bound a multi-cycle skip:
+// every cycle before the returned one is provably event-free, so Due's
+// called-for-every-cycle contract is preserved when those calls are elided.
+func (w *Wheel[T]) NextAt(from uint64) (uint64, bool) {
+	if w.count == 0 {
+		return 0, false
+	}
+	best, found := uint64(0), false
+	for _, d := range w.overflow {
+		if !found || d.at < best {
+			best, found = d.at, true
+		}
+	}
+	for k := uint64(0); k < uint64(len(w.buckets)); k++ {
+		at := from + k
+		if found && best <= at {
+			break
+		}
+		if len(w.buckets[at&w.mask]) > 0 {
+			return at, true
+		}
+	}
+	return best, found
+}
+
 // Reset discards every pending event, invoking visit (if non-nil) on each so
 // the caller can recycle them (the pipeline returns entries to its pool).
 // The wheel's allocations are retained for reuse.

@@ -152,3 +152,43 @@ func TestWheelSteadyStateAllocs(t *testing.T) {
 		t.Errorf("steady-state Schedule+Due allocates %v allocs/op, want 0", avg)
 	}
 }
+
+func TestWheelNextAt(t *testing.T) {
+	w := NewWheel[int](16)
+	if _, ok := w.NextAt(0); ok {
+		t.Fatal("NextAt on empty wheel reported an event")
+	}
+	w.Schedule(0, 5, 50)
+	w.Schedule(0, 12, 120)
+	w.Schedule(0, 40, 400) // beyond the 16-cycle horizon: overflow
+
+	// NextAt's contract mirrors Due's: every cycle before from has been
+	// drained. Walk the clock the way the pipeline does — NextAt(now),
+	// then Due(now) — and check it always reports the earliest remaining
+	// event, including the overflow entry once the bucketed ones are gone.
+	pending := []uint64{5, 12, 40}
+	for now := uint64(1); now <= 40; now++ {
+		if now == 13 {
+			// An overflow event scheduled closer than an existing bucketed
+			// one must win; a bucketed one closer than the overflow must
+			// win. 31 lands beyond the current horizon window, 20 within.
+			w.Schedule(now, 31, 310)
+			w.Schedule(now, 20, 200)
+			pending = append(pending, 31, 20)
+		}
+		want, any := uint64(0), false
+		for _, at := range pending {
+			if at >= now && (!any || at < want) {
+				want, any = at, true
+			}
+		}
+		got, ok := w.NextAt(now)
+		if ok != any || (any && got != want) {
+			t.Fatalf("NextAt(%d) = %d,%v, want %d,%v", now, got, ok, want, any)
+		}
+		w.Due(now)
+	}
+	if got, ok := w.NextAt(41); ok {
+		t.Fatalf("NextAt(41) on drained wheel = %d,true, want none", got)
+	}
+}

@@ -500,6 +500,10 @@ type Snapshot struct {
 	// the serving-side analogue of the benchmark harness's simulated-MIPS
 	// numerator.
 	TotalRetired uint64 `json:"total_retired"`
+	// CyclesElided sums the simulated cycles idle-cycle elision skipped in
+	// closed form across every backend run: how much of the simulated time
+	// was provably quiescent and never paid for cycle by cycle.
+	CyclesElided uint64 `json:"cycles_elided"`
 
 	// Replay-substrate counters (the service-wide stream cache): how many
 	// full-detail runs were served from a resident stream, loaded from the
@@ -543,9 +547,11 @@ func (s *Service) Stats() Snapshot {
 	s.runnersMu.Lock()
 	for _, r := range s.runners {
 		snap.TotalRetired += r.TotalRetired()
+		snap.CyclesElided += r.TotalCyclesElided()
 	}
 	for _, r := range s.samplers {
 		snap.TotalRetired += r.TotalRetired()
+		snap.CyclesElided += r.TotalCyclesElided()
 	}
 	s.runnersMu.Unlock()
 	return snap

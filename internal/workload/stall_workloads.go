@@ -1,0 +1,61 @@
+package workload
+
+import "sfcmdt/internal/prog"
+
+// ptrchase is the idle-cycle-elision stress workload: a serial pointer
+// chase over a random single-cycle permutation whose nodes are spread far
+// beyond the L2, so every chase load is an ~L2-miss and the next one cannot
+// even compute its address until the current one returns. Between misses
+// the front end fills the fetch queue and the ROB with instructions that
+// all (transitively) depend on the outstanding load, leaving the machine
+// fully quiescent for the bulk of each miss — the span the elision loop
+// skips in one jump. It is an Extra workload: reachable by name from the
+// harness, benchmarks, and service sweeps, but outside the paper's figure
+// set (and therefore outside the byte-exact Figure 5 golden).
+func init() {
+	register(Workload{
+		Name:      "ptrchase",
+		Class:     Int,
+		Pathology: "serial L2-miss pointer chase; fully quiescent between misses",
+		Extra:     true,
+		Build:     buildPtrChase,
+	})
+}
+
+// buildPtrChase: 16K nodes at 128-byte stride (one node per L2 line, 2 MB
+// footprint vs the 512 KB L2) linked into one random Hamiltonian cycle, so
+// reuse distance equals the full node count and no line survives in any
+// cache level between visits. The loop body is the minimal chase — the
+// loaded value *is* the next address — plus the foreverLoop back edge,
+// whose counter arithmetic never touches memory and completes immediately.
+func buildPtrChase() *prog.Image {
+	b := prog.NewBuilder("ptrchase")
+	const (
+		nodes  = 1 << 14
+		stride = 128 // one L2 line per node
+	)
+	base := b.AllocAt(0, nodes*stride)
+
+	// Visit the nodes in a deterministic Fisher-Yates shuffle of the index
+	// space and link each to its successor: one cycle through all nodes by
+	// construction.
+	order := make([]int, nodes)
+	for i := range order {
+		order[i] = i
+	}
+	sm := splitmix64(0x9e1d)
+	for i := nodes - 1; i > 0; i-- {
+		j := int(sm.next() % uint64(i+1))
+		order[i], order[j] = order[j], order[i]
+	}
+	for k, node := range order {
+		next := order[(k+1)%nodes]
+		b.SetWord64(base+uint64(node)*stride, base+uint64(next)*stride)
+	}
+
+	b.La(1, base+uint64(order[0])*stride)
+	f := beginForever(b, 28, "chase")
+	b.Ld(1, 0, 1) // r1 = *r1: the serial dependence carrying the whole loop
+	f.end()
+	return b.MustBuild()
+}

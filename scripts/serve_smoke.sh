@@ -9,6 +9,8 @@
 #   - a /v1/sweep grid shares replay streams: W workloads x M mems pay
 #     exactly W functional passes (the /v1/stats replay_materialized
 #     counter moves by W, not W*M),
+#   - idle-cycle elision is live end to end: a stall-heavy pointer-chase run
+#     must advance the /v1/stats cycles_elided counter,
 #   - SIGTERM drains cleanly (server exits 0 and prints its shutdown line).
 # Run via `make serve-smoke`; part of `make ci`.
 set -eu
@@ -69,6 +71,25 @@ if [ "$((M1 - M0))" -ne 3 ]; then
     exit 1
 fi
 echo "serve-smoke: sweep reuse OK (6-point grid, 3 functional passes)"
+
+# Idle-cycle elision surfaces in /v1/stats: the pointer chase spends most of
+# its cycles with the whole machine quiescent behind one L2 miss, so a single
+# run must move the cycles_elided counter (and the key itself must exist —
+# an empty awk result fails the -z check).
+E0=$("$TMP/sfcload" -addr "$ADDR" -stats | awk '$1=="cycles_elided"{print $2}')
+if [ -z "$E0" ]; then
+    echo "serve-smoke: /v1/stats is missing cycles_elided" >&2
+    exit 1
+fi
+"$TMP/sfcload" -addr "$ADDR" -c 1 -n 1 -insts 3000 \
+    -workloads ptrchase >"$TMP/elide.out"
+E1=$("$TMP/sfcload" -addr "$ADDR" -stats | awk '$1=="cycles_elided"{print $2}')
+if [ "$E1" -le "$E0" ]; then
+    echo "serve-smoke: cycles_elided stuck at $E1 after a pointer-chase run" >&2
+    cat "$TMP/elide.out" >&2
+    exit 1
+fi
+echo "serve-smoke: elision OK ($((E1 - E0)) cycles elided by the pointer chase)"
 
 echo "serve-smoke: sending SIGTERM"
 kill -TERM "$SRV_PID"
