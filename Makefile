@@ -46,7 +46,7 @@ bench:
 
 # Regenerate the machine-readable benchmark report.
 bench-json:
-	$(GO) run ./cmd/sfcbench -insts 20000 -json BENCH_PR9.json bench all
+	$(GO) run ./cmd/sfcbench -insts 20000 -json BENCH_PR10.json bench all
 
 # Diff a fresh run against the committed report. The tool's default
 # tolerance (10%) suits a quiet, pinned machine; shared runners see
@@ -55,7 +55,7 @@ bench-json:
 # slips, but alloc regressions are always flagged exactly, and losing the
 # event wheel (+700% ns/op) or the entry pool (+2000%) trips it instantly.
 bench-check:
-	$(GO) run ./cmd/sfcbench -insts 20000 -baseline BENCH_PR9.json -tolerance 0.5 bench all
+	$(GO) run ./cmd/sfcbench -insts 20000 -baseline BENCH_PR10.json -tolerance 0.5 bench all
 
 # End-to-end smoke of the serving stack: sfcserve on an ephemeral port,
 # an sfcload burst that must hit the cache/coalescer for >=50% of requests,

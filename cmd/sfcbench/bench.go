@@ -11,10 +11,12 @@ import (
 	"time"
 
 	"sfcmdt/internal/arch"
+	"sfcmdt/internal/bpred"
 	"sfcmdt/internal/core"
 	"sfcmdt/internal/harness"
 	"sfcmdt/internal/mem"
 	"sfcmdt/internal/pipeline"
+	"sfcmdt/internal/prefetch"
 	"sfcmdt/internal/replay"
 	"sfcmdt/internal/sample"
 	"sfcmdt/internal/sched"
@@ -310,6 +312,72 @@ func benchStoreFIFO(uint64) (benchResult, error) {
 }
 
 // ---------------------------------------------------------------------------
+// Frontend structure micro-benchmarks (DESIGN.md §14): the per-branch TAGE
+// flow (predict, speculate, resolve on mispredict, train at retire), the
+// stride prefetcher's per-miss Observe, and the pre-probe table's
+// predict+train pair. Each models its structure's real per-event call
+// sequence in the pipeline, so the rows read as the marginal frontend cost
+// per branch / per miss / per dispatched load. All three are zero-alloc on
+// the cycle path and the baseline gates exactly that.
+
+func benchTageLookup(uint64) (benchResult, error) {
+	res := testing.Benchmark(func(b *testing.B) {
+		p := bpred.New(bpred.TageConfig())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// 64 static branches; outcomes flip at PC-dependent periods so
+			// the tagged tables (not just the bimodal base) carry state.
+			pc := uint64(0x1000 + (i%64)*4)
+			taken := (i>>(2+i%5))&1 == 1
+			pred := p.Predict(pc)
+			before := p.History()
+			p.Speculate(pred)
+			if pred != taken {
+				p.Resolve(before, taken)
+			}
+			p.Update(pc, before, taken)
+		}
+	})
+	return fromResult("tage-lookup", res), nil
+}
+
+func benchPrefetchTrain(uint64) (benchResult, error) {
+	res := testing.Benchmark(func(b *testing.B) {
+		s := prefetch.NewStride(prefetch.StrideConfig())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// 8 interleaved streams, one PC each, all stride 64: every
+			// observation past warmup is the trained fast path that emits
+			// Degree candidates.
+			pc := uint64(0x2000 + (i%8)*4)
+			addr := uint64(i/8) * 64
+			benchSink += uint64(len(s.Observe(pc, addr)))
+		}
+	})
+	return fromResult("prefetch-train", res), nil
+}
+
+func benchPreprobeProbe(uint64) (benchResult, error) {
+	res := testing.Benchmark(func(b *testing.B) {
+		a := core.NewAddrPred(core.AddrPredDefaults())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// The pipeline's per-load pair: PredictAddr at dispatch, Train at
+			// execute. 16 strided PCs keep every probe a confident hit.
+			pc := uint64(0x3000 + (i%16)*4)
+			if pa, ok := a.PredictAddr(pc); ok {
+				benchSink += pa
+			}
+			a.Train(pc, uint64(i/16)*8)
+		}
+	})
+	return fromResult("preprobe-probe", res), nil
+}
+
+// ---------------------------------------------------------------------------
 // Checkpoint & sampling entries: the functional fast-forward rate (the speed
 // that makes paper-scale instruction budgets tractable — compare its MIPS
 // against pipeline-steady-cycle's) and the snapshot encode/decode round trip
@@ -590,6 +658,18 @@ func benchPipelineCycle(insts uint64) (benchResult, error) {
 	return r, nil
 }
 
+// benchPipelineFrontend is pipeline-steady-cycle with the full frontend
+// stack on (TAGE, stride prefetch, pre-probe): the delta against the plain
+// row is the whole-pipeline cost of frontend realism per cycle. Gated like
+// the plain row — the frontend must stay zero-alloc in steady state.
+func benchPipelineFrontend(insts uint64) (benchResult, error) {
+	return benchSteadyStep("pipeline-steady-cycle-frontend", insts, func(cfg *pipeline.Config) {
+		cfg.BPred = bpred.TageConfig()
+		cfg.Prefetch = prefetch.StrideConfig()
+		cfg.Preprobe = core.AddrPredDefaults()
+	})
+}
+
 // Scheduler comparison: the same steady-state swim run under the wakeup
 // scheduler (ready bitset + consumer lists, the shipped default) and under
 // the retained linear ROB scan (Config.LinearScanScheduler, the oracle the
@@ -730,6 +810,9 @@ var benchSuite = []benchEntry{
 	{"sfc-probe", benchSFCProbe},
 	{"mdt-probe-pair", benchMDT},
 	{"storefifo-push-pop", benchStoreFIFO},
+	{"tage-lookup", benchTageLookup},
+	{"prefetch-train", benchPrefetchTrain},
+	{"preprobe-probe", benchPreprobeProbe},
 	{"fastforward-inst", benchFastForward},
 	{"snapshot-roundtrip", benchSnapshotRoundtrip},
 	{"sample-run-serial", benchSampleRunSerial},
@@ -739,6 +822,7 @@ var benchSuite = []benchEntry{
 	{"issue-wakeup", benchIssueWakeup},
 	{"issue-scan", benchIssueScan},
 	{"pipeline-steady-cycle", benchPipelineCycle},
+	{"pipeline-steady-cycle-frontend", benchPipelineFrontend},
 	{"pipeline-stall-cycle", benchStallElide},
 	{"pipeline-stall-cycle-noelide", benchStallNoElide},
 	{"figure5-macro", benchFigure5},

@@ -8,7 +8,8 @@
 //
 //	sfcload -addr HOST:PORT[,HOST:PORT...] [-c 8] [-n 0] [-d 3s] [-insts N]
 //	        [-workloads gzip,mcf] [-configs baseline] [-mems mdtsfc]
-//	        [-preds ...] [-min-hit-rate -1] [-wait-ready 10s]
+//	        [-preds ...] [-bpreds gshare,tage] [-prefetches none,stride]
+//	        [-preprobes off,on] [-min-hit-rate -1] [-wait-ready 10s]
 //
 // -addr accepts a comma-separated list of servers (or one cluster
 // coordinator); burst requests round-robin across them and the report breaks
@@ -70,6 +71,9 @@ func main() {
 	configs := flag.String("configs", "baseline", "comma-separated config axis")
 	mems := flag.String("mems", "mdtsfc", "comma-separated memory-subsystem axis")
 	preds := flag.String("preds", "", "comma-separated predictor axis (empty = per-config default)")
+	bpreds := flag.String("bpreds", "", "comma-separated branch-predictor axis: gshare,tage (empty = gshare)")
+	prefetches := flag.String("prefetches", "", "comma-separated prefetcher axis: none,stride (empty = none)")
+	preprobes := flag.String("preprobes", "", "comma-separated pre-probe axis: off,on (empty = off)")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request timeout")
 	waitReady := flag.Duration("wait-ready", 10*time.Second, "poll /healthz this long before the burst")
 	minHitRate := flag.Float64("min-hit-rate", -1, "fail unless (cached+coalesced)/completed >= this (-1 disables)")
@@ -113,15 +117,16 @@ func main() {
 		}
 		return
 	}
+	fe := feAxes{bpreds: *bpreds, prefetches: *prefetches, preprobes: *preprobes}
 	if *sweep {
-		if err := doSweep(client, bases[0], *workloads, *configs, *mems, *preds, *insts, *canonical); err != nil {
+		if err := doSweep(client, bases[0], *workloads, *configs, *mems, *preds, fe, *insts, *canonical); err != nil {
 			fmt.Fprintf(os.Stderr, "sfcload: sweep: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	grid := buildGrid(*workloads, *configs, *mems, *preds, *insts)
+	grid := buildGrid(*workloads, *configs, *mems, *preds, fe, *insts)
 	if len(grid) == 0 {
 		fmt.Fprintln(os.Stderr, "sfcload: empty request grid")
 		os.Exit(2)
@@ -203,7 +208,30 @@ func waitHealthy(client *http.Client, base string, d time.Duration) error {
 	}
 }
 
-func buildGrid(workloads, configs, mems, preds string, insts uint64) []service.RunRequest {
+// feAxes carries the frontend grid axes as the raw comma-separated flag
+// values; empty axes mean the golden default.
+type feAxes struct {
+	bpreds, prefetches, preprobes string
+}
+
+// preprobeBools parses the pre-probe axis ("off"/"on", also "false"/"true").
+func preprobeBools(s string) ([]bool, error) {
+	var out []bool
+	for _, f := range strings.Split(s, ",") {
+		switch strings.TrimSpace(f) {
+		case "":
+		case "off", "false":
+			out = append(out, false)
+		case "on", "true":
+			out = append(out, true)
+		default:
+			return nil, fmt.Errorf("bad preprobe value %q (want off or on)", f)
+		}
+	}
+	return out, nil
+}
+
+func buildGrid(workloads, configs, mems, preds string, fe feAxes, insts uint64) []service.RunRequest {
 	split := func(s string) []string {
 		var out []string
 		for _, f := range strings.Split(s, ",") {
@@ -216,6 +244,14 @@ func buildGrid(workloads, configs, mems, preds string, insts uint64) []service.R
 		}
 		return out
 	}
+	pps, err := preprobeBools(fe.preprobes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sfcload: %v\n", err)
+		os.Exit(2)
+	}
+	if len(pps) == 0 {
+		pps = []bool{false}
+	}
 	var grid []service.RunRequest
 	for _, w := range split(workloads) {
 		if w == "" {
@@ -224,7 +260,17 @@ func buildGrid(workloads, configs, mems, preds string, insts uint64) []service.R
 		for _, c := range split(configs) {
 			for _, m := range split(mems) {
 				for _, p := range split(preds) {
-					grid = append(grid, service.RunRequest{Workload: w, Config: c, Mem: m, Pred: p, Insts: insts})
+					for _, bp := range split(fe.bpreds) {
+						for _, pf := range split(fe.prefetches) {
+							for _, pp := range pps {
+								grid = append(grid, service.RunRequest{
+									Workload: w, Config: c, Mem: m, Pred: p,
+									BPred: bp, Prefetch: pf, Preprobe: pp,
+									Insts: insts,
+								})
+							}
+						}
+					}
 				}
 			}
 		}
@@ -323,7 +369,7 @@ func report(cts *counters, elapsed time.Duration) {
 // fails if any grid point errored or the summary never arrived. In canonical
 // mode the echo is deferred: result lines are stripped of serving metadata,
 // sorted, and printed before a summary whose volatile fields are zeroed.
-func doSweep(client *http.Client, base, workloads, configs, mems, preds string, insts uint64, canonical bool) error {
+func doSweep(client *http.Client, base, workloads, configs, mems, preds string, fe feAxes, insts uint64, canonical bool) error {
 	split := func(s string) []string {
 		var out []string
 		for _, f := range strings.Split(s, ",") {
@@ -333,12 +379,19 @@ func doSweep(client *http.Client, base, workloads, configs, mems, preds string, 
 		}
 		return out
 	}
+	pps, err := preprobeBools(fe.preprobes)
+	if err != nil {
+		return err
+	}
 	sr := service.SweepRequest{
-		Workloads: split(workloads),
-		Configs:   split(configs),
-		Mems:      split(mems),
-		Preds:     split(preds),
-		Insts:     insts,
+		Workloads:  split(workloads),
+		Configs:    split(configs),
+		Mems:       split(mems),
+		Preds:      split(preds),
+		BPreds:     split(fe.bpreds),
+		Prefetches: split(fe.prefetches),
+		Preprobes:  pps,
+		Insts:      insts,
 	}
 	body, err := json.Marshal(sr)
 	if err != nil {

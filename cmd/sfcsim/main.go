@@ -5,6 +5,7 @@
 // Usage:
 //
 //	sfcsim [-config baseline|aggressive] [-mem mdtsfc|lsq] [-pred enf|not-enf|total|off]
+//	       [-bpred gshare|tage] [-prefetch none|stride] [-preprobe]
 //	       [-lq N] [-sq N] [-insts N] [-json] [-list] <workload>
 //	sfcsim -fastforward N [-checkpoint-dir DIR] [flags] <workload>
 //	sfcsim -sample-measure M [-fastforward W] [-sample-warm U] [-sample-intervals K]
@@ -49,6 +50,9 @@ func main() {
 	pred := flag.String("pred", "", "predictor mode: enf, not-enf, total, off (default: enf for baseline mdtsfc, total for aggressive mdtsfc, true-only for lsq)")
 	lq := flag.Int("lq", 0, "LSQ load-queue entries (lsq only; default per config)")
 	sq := flag.Int("sq", 0, "LSQ store-queue entries")
+	bpredName := flag.String("bpred", "gshare", "branch predictor: gshare or tage")
+	prefetchName := flag.String("prefetch", "none", "L1D hardware prefetcher: none or stride")
+	preprobe := flag.Bool("preprobe", false, "pre-probe the SFC/MDT way memos with predicted load addresses at dispatch (timing-only)")
 	insts := flag.Uint64("insts", 200_000, "correct-path instructions to simulate")
 	ff := flag.Uint64("fastforward", 0, "functionally fast-forward N instructions per interval before detailed simulation")
 	sWarm := flag.Uint64("sample-warm", 0, "detailed-warm instructions per interval, statistics discarded")
@@ -100,6 +104,11 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.NoElide = *noElide
+	fe := sim.Frontend{BPred: *bpredName, Prefetch: *prefetchName, Preprobe: *preprobe}
+	if err := fe.Apply(&cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "sfcsim: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *ff > 0 || *sMeasure > 0 {
 		plan := sample.Plan{FastForward: *ff, Warm: *sWarm, Measure: *sMeasure, Intervals: *sIntervals}
@@ -192,6 +201,20 @@ func writeStats(tw *tabwriter.Writer, s *metrics.Stats) {
 	fmt.Fprintf(tw, "head bypasses\t%d loads, %d stores\n", s.HeadBypassLoads, s.HeadBypassStores)
 	fmt.Fprintf(tw, "caches\tL1I %d/%d, L1D %d/%d, L2 %d/%d (hits/misses)\n",
 		s.L1IHits, s.L1IMisses, s.L1DHits, s.L1DMisses, s.L2Hits, s.L2Misses)
+	if s.BPredTaggedProvider > 0 || s.BPredAllocs > 0 {
+		fmt.Fprintf(tw, "tage\t%d lookups, %d provider hits, %d alt-used, %d allocs\n",
+			s.BPredLookups, s.BPredTaggedProvider, s.BPredAltUsed, s.BPredAllocs)
+	}
+	if s.PrefetchIssued > 0 || s.PrefetchRedundant > 0 {
+		fmt.Fprintf(tw, "prefetch\t%d issued, %d useful (%.1f%% accuracy), %d late, %d redundant; L1D demand-miss %.2f%%\n",
+			s.PrefetchIssued, s.PrefetchUseful, 100*s.PrefetchAccuracy(),
+			s.PrefetchLate, s.PrefetchRedundant, 100*s.L1DDemandMissRate())
+	}
+	if s.PreprobeLookups > 0 {
+		fmt.Fprintf(tw, "pre-probe\t%d lookups, %d hits / %d misses (%.1f%% hit rate), %d warms\n",
+			s.PreprobeLookups, s.PreprobeHits, s.PreprobeMisses,
+			100*s.PreprobeHitRate(), s.PreprobeWarms)
+	}
 }
 
 // runSampled executes the fast-forward / interval-sampling path and prints

@@ -99,11 +99,11 @@ func TestOracleDeterminismAndFraction(t *testing.T) {
 }
 
 func TestCounterSizing(t *testing.T) {
-	g := New(Config{Bits: 8 << 10, HistoryLen: 12})
+	g := NewGshare(Config{Bits: 8 << 10, HistoryLen: 12})
 	if len(g.counters) != 4096 {
 		t.Errorf("8Kbit predictor should have 4096 2-bit counters, got %d", len(g.counters))
 	}
-	g = New(Config{Bits: 3000, HistoryLen: 8})
+	g = NewGshare(Config{Bits: 3000, HistoryLen: 8})
 	if len(g.counters) != 1024 {
 		t.Errorf("non-power-of-two bits should round down, got %d", len(g.counters))
 	}

@@ -1,0 +1,454 @@
+package bpred
+
+import "math"
+
+// Tage is a TAGE branch predictor: a bimodal base table plus TageTables
+// partially-tagged tables indexed by geometrically increasing global-history
+// lengths. The longest-history table whose partial tag matches provides the
+// prediction; the next match (or the base table) is the alternate. Entries
+// carry a 3-bit signed prediction counter and a 2-bit usefulness counter;
+// allocation on a mispredict picks a longer-history table with a dead
+// (u == 0) entry.
+//
+// Speculative history. The global history is a bit ring the pipeline pushes
+// a predicted direction into at every fetch (Speculate). Because all table
+// indices are folded-history hashes that are updated incrementally, a flush
+// cannot simply assign the history register back the way gshare does — the
+// fold state must rewind too. Checkpoint tokens are therefore version
+// numbers: every Speculate advances the version and stores {ring head, all
+// fold registers} in a snapshot ring sized (SpecDepth) to cover every
+// in-flight branch, and Restore(v) copies that snapshot back. The history
+// bit ring itself is sized so that the window behind any live checkpoint is
+// never overwritten (maxHist + SpecDepth bits, rounded up).
+type Tage struct {
+	cfg Config
+
+	// Base bimodal predictor: 2-bit counters indexed by PC.
+	base     []uint8
+	baseMask uint32
+
+	// Tagged tables, flat: table i occupies tab[i*entries : (i+1)*entries].
+	// Table 0 has the shortest history; providers are scanned longest-first.
+	tab      []tagEntry
+	nTables  int
+	entries  int
+	idxMask  uint32
+	tagMask  uint32
+	histLens []int // per-table history length, strictly increasing
+
+	// Global history bit ring.
+	bits    []uint8
+	bitMask uint32
+	head    uint32 // next push position; bit j ago = bits[(head-1-j)&bitMask]
+
+	// Folded histories, 3 per table: index fold, tag fold, tag fold 2
+	// (one bit narrower, xored shifted into the tag to break aliasing).
+	// folds[i*3+k]; per-fold compressed length and wrap-in point.
+	folds    []uint32
+	compLen  []uint
+	outPoint []uint
+
+	// Snapshot ring: snaps[(version&snapMask)*snapStride ...] holds head
+	// followed by a copy of folds.
+	snaps      []uint32
+	snapMask   uint32
+	snapStride int
+	version    uint32
+
+	// use_alt_on_na: when the provider entry is newly allocated and weak,
+	// a positive counter says the alternate prediction is more trustworthy.
+	useAlt int8
+
+	// u-counter aging: every uTickPeriod updates all u counters are halved.
+	uTick uint32
+
+	// scratch for per-table index/tag computation (zero-alloc Update).
+	idxBuf []uint32
+	tagBuf []uint32
+
+	stats Counters
+}
+
+type tagEntry struct {
+	tag uint16
+	ctr int8 // -4..3, taken if >= 0
+	u   uint8
+}
+
+const uTickPeriod = 1 << 18
+
+// NewTage builds the TAGE predictor for cfg (sparse fields are filled with
+// the TageConfig defaults).
+func NewTage(cfg Config) *Tage {
+	cfg = cfg.WithDefaults()
+	t := &Tage{cfg: cfg, nTables: cfg.TageTables}
+
+	// Base bimodal: same storage budget convention as gshare (2 bits per
+	// counter), power-of-two entry count.
+	n := cfg.Bits / 2
+	if n <= 0 {
+		n = 1
+	}
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	t.base = make([]uint8, p)
+	t.baseMask = uint32(p - 1)
+
+	t.entries = cfg.TageEntries
+	t.idxMask = uint32(t.entries - 1)
+	t.tagMask = uint32(1<<uint(cfg.TageTagBits) - 1)
+	t.tab = make([]tagEntry, t.nTables*t.entries)
+
+	// Geometric history lengths from MinHist to MaxHist.
+	t.histLens = make([]int, t.nTables)
+	ratio := 1.0
+	if t.nTables > 1 {
+		ratio = math.Pow(float64(cfg.TageMaxHist)/float64(cfg.TageMinHist),
+			1/float64(t.nTables-1))
+	}
+	prev := 0
+	for i := range t.histLens {
+		l := int(math.Round(float64(cfg.TageMinHist) * math.Pow(ratio, float64(i))))
+		if l <= prev {
+			l = prev + 1
+		}
+		t.histLens[i] = l
+		prev = l
+	}
+	maxHist := t.histLens[t.nTables-1]
+
+	// History bit ring: any live checkpoint's trailing maxHist bits must
+	// survive SpecDepth further pushes.
+	b := 1
+	for b < maxHist+cfg.SpecDepth+1 {
+		b *= 2
+	}
+	t.bits = make([]uint8, b)
+	t.bitMask = uint32(b - 1)
+
+	// Folded histories: per table, fold the L-bit history into the index
+	// width and into the tag width (twice, offset, per the usual TAGE
+	// construction).
+	logEntries := uint(0)
+	for 1<<logEntries < t.entries {
+		logEntries++
+	}
+	t.folds = make([]uint32, t.nTables*3)
+	t.compLen = make([]uint, t.nTables*3)
+	t.outPoint = make([]uint, t.nTables*3)
+	for i := 0; i < t.nTables; i++ {
+		widths := [3]uint{logEntries, uint(cfg.TageTagBits), uint(cfg.TageTagBits) - 1}
+		for k, w := range widths {
+			if w == 0 {
+				w = 1
+			}
+			t.compLen[i*3+k] = w
+			t.outPoint[i*3+k] = uint(t.histLens[i]) % w
+		}
+	}
+
+	t.snapStride = 1 + len(t.folds)
+	t.snapMask = uint32(cfg.SpecDepth - 1)
+	t.snaps = make([]uint32, cfg.SpecDepth*t.snapStride)
+
+	t.idxBuf = make([]uint32, t.nTables)
+	t.tagBuf = make([]uint32, t.nTables)
+
+	t.Reset()
+	return t
+}
+
+// foldPush incorporates a newly pushed history bit into every fold register.
+// Must be called after the bit is written and head advanced.
+func (t *Tage) foldPush(newBit uint32) {
+	for i := 0; i < t.nTables; i++ {
+		l := uint32(t.histLens[i])
+		oldBit := uint32(t.bits[(t.head-1-l)&t.bitMask])
+		for k := 0; k < 3; k++ {
+			f := i*3 + k
+			cl := t.compLen[f]
+			c := t.folds[f]<<1 | newBit
+			c ^= oldBit << t.outPoint[f]
+			c ^= c >> cl
+			t.folds[f] = c & (1<<cl - 1)
+		}
+	}
+}
+
+// indices computes the per-table index and partial tag for pc from the given
+// fold array (either the live folds or a checkpoint snapshot), into
+// t.idxBuf/t.tagBuf.
+func (t *Tage) indices(pc uint64, folds []uint32) {
+	p := uint32(pc >> 2)
+	for i := 0; i < t.nTables; i++ {
+		t.idxBuf[i] = (p ^ p>>(uint(i)+5) ^ folds[i*3]) & t.idxMask
+		t.tagBuf[i] = (p ^ folds[i*3+1] ^ folds[i*3+2]<<1) & t.tagMask
+	}
+}
+
+// provider scans the tagged tables longest-history-first for tag matches
+// using the indices already in idxBuf/tagBuf. Returns the provider and
+// alternate table numbers, or -1 where the base table takes over.
+func (t *Tage) provider() (prov, alt int) {
+	prov, alt = -1, -1
+	for i := t.nTables - 1; i >= 0; i-- {
+		if uint32(t.tab[i*t.entries+int(t.idxBuf[i])].tag) == t.tagBuf[i] {
+			if prov < 0 {
+				prov = i
+			} else {
+				alt = i
+				break
+			}
+		}
+	}
+	return prov, alt
+}
+
+func (t *Tage) basePred(pc uint64) bool {
+	return t.base[uint32(pc>>2)&t.baseMask] >= 2
+}
+
+// weakNew reports whether a provider entry is newly allocated and still
+// unproven: weak counter and no recorded usefulness. For such entries the
+// alternate prediction is consulted (use_alt_on_na).
+func weakNew(e *tagEntry) bool {
+	return e.u == 0 && (e.ctr == 0 || e.ctr == -1)
+}
+
+// predict computes the final direction for pc from the fold state in folds,
+// without touching any predictor state. Counter attribution (TaggedProvider,
+// AltUsed) happens at Update time on the correct path only.
+func (t *Tage) predict(pc uint64, folds []uint32) bool {
+	t.indices(pc, folds)
+	prov, alt := t.provider()
+	if prov < 0 {
+		return t.basePred(pc)
+	}
+	e := &t.tab[prov*t.entries+int(t.idxBuf[prov])]
+	if weakNew(e) && t.useAlt >= 0 {
+		if alt < 0 {
+			return t.basePred(pc)
+		}
+		return t.tab[alt*t.entries+int(t.idxBuf[alt])].ctr >= 0
+	}
+	return e.ctr >= 0
+}
+
+// Predict returns the TAGE prediction for the branch at pc without changing
+// any state.
+func (t *Tage) Predict(pc uint64) bool {
+	return t.predict(pc, t.folds)
+}
+
+// Speculate pushes a predicted direction into the speculative history,
+// advances the checkpoint version, snapshots the fold state, and returns the
+// new version token.
+func (t *Tage) Speculate(taken bool) uint32 {
+	var b uint8
+	if taken {
+		b = 1
+	}
+	t.bits[t.head&t.bitMask] = b
+	t.head++
+	t.foldPush(uint32(b))
+	t.version++
+	t.snapshot(t.version)
+	return t.version
+}
+
+func (t *Tage) snapshot(v uint32) {
+	s := t.snaps[int(v&t.snapMask)*t.snapStride:]
+	s[0] = t.head
+	copy(s[1:1+len(t.folds)], t.folds)
+}
+
+// History returns the current checkpoint token.
+func (t *Tage) History() uint32 { return t.version }
+
+// Restore rewinds the speculative history to a checkpoint token. The token
+// must still be live (taken for an instruction currently in flight); the
+// version counter rewinds with it so subsequent Speculates re-use ring slots
+// the squashed wrong-path branches held.
+func (t *Tage) Restore(token uint32) {
+	t.version = token
+	s := t.snaps[int(token&t.snapMask)*t.snapStride:]
+	t.head = s[0]
+	copy(t.folds, s[1:1+len(t.folds)])
+}
+
+// Resolve rewinds to the checkpoint taken before a mispredicted conditional
+// branch and pushes its resolved direction.
+func (t *Tage) Resolve(before uint32, taken bool) {
+	t.Restore(before)
+	t.Speculate(taken)
+}
+
+// snapFolds returns the fold array stored in a checkpoint (the state the
+// branch predicted with).
+func (t *Tage) snapFolds(token uint32) []uint32 {
+	s := t.snaps[int(token&t.snapMask)*t.snapStride:]
+	return s[1 : 1+len(t.folds)]
+}
+
+// Update trains the predictor for a retiring correct-path conditional
+// branch. Indices are recomputed from the pre-prediction checkpoint, so the
+// trained entries are exactly the ones the branch was predicted from; the
+// provider/alternate choice is re-derived against the current table
+// contents, which is deterministic (and shared by the elided and stepped
+// loops) even when an intervening allocation changed the outcome.
+func (t *Tage) Update(pc uint64, before uint32, taken bool) {
+	t.indices(pc, t.snapFolds(before))
+	prov, alt := t.provider()
+
+	var provPred, altPred, finalPred bool
+	if prov >= 0 {
+		t.stats.TaggedProvider++
+		e := &t.tab[prov*t.entries+int(t.idxBuf[prov])]
+		provPred = e.ctr >= 0
+		if alt >= 0 {
+			altPred = t.tab[alt*t.entries+int(t.idxBuf[alt])].ctr >= 0
+		} else {
+			altPred = t.basePred(pc)
+		}
+		finalPred = provPred
+		if weakNew(e) && t.useAlt >= 0 {
+			finalPred = altPred
+			t.stats.AltUsed++
+		}
+		// use_alt_on_na trains whenever provider and alternate disagree on
+		// a weak-new entry: was the alternate the better choice?
+		if weakNew(e) && provPred != altPred {
+			if altPred == taken {
+				if t.useAlt < 7 {
+					t.useAlt++
+				}
+			} else if t.useAlt > -8 {
+				t.useAlt--
+			}
+		}
+		// Usefulness: the provider proved useful when it disagreed with the
+		// alternate and was right; harmful when it disagreed and was wrong.
+		if provPred != altPred {
+			if provPred == taken {
+				if e.u < 3 {
+					e.u++
+				}
+			} else if e.u > 0 {
+				e.u--
+			}
+		}
+		// Train the provider counter; also nudge the base table while the
+		// provider is still unproven so the base stays a sane fallback.
+		trainCtr(&e.ctr, taken)
+		if e.u == 0 {
+			t.trainBase(pc, taken)
+		}
+	} else {
+		finalPred = t.basePred(pc)
+		t.trainBase(pc, taken)
+	}
+
+	// Allocate on a final misprediction, in a longer-history table with a
+	// dead entry; if none is dead, decay them all so one frees up soon.
+	if finalPred != taken && prov < t.nTables-1 {
+		allocated := false
+		for i := prov + 1; i < t.nTables; i++ {
+			e := &t.tab[i*t.entries+int(t.idxBuf[i])]
+			if e.u == 0 {
+				e.tag = uint16(t.tagBuf[i])
+				if taken {
+					e.ctr = 0
+				} else {
+					e.ctr = -1
+				}
+				t.stats.Allocs++
+				allocated = true
+				break
+			}
+		}
+		if !allocated {
+			for i := prov + 1; i < t.nTables; i++ {
+				e := &t.tab[i*t.entries+int(t.idxBuf[i])]
+				if e.u > 0 {
+					e.u--
+				}
+			}
+		}
+	}
+
+	// Periodically age the usefulness counters so stale entries die.
+	t.uTick++
+	if t.uTick >= uTickPeriod {
+		t.uTick = 0
+		for i := range t.tab {
+			t.tab[i].u >>= 1
+		}
+	}
+}
+
+func trainCtr(c *int8, taken bool) {
+	if taken {
+		if *c < 3 {
+			*c++
+		}
+	} else if *c > -4 {
+		*c--
+	}
+}
+
+func (t *Tage) trainBase(pc uint64, taken bool) {
+	idx := uint32(pc>>2) & t.baseMask
+	c := t.base[idx]
+	if taken {
+		if c < 3 {
+			c++
+		}
+	} else if c > 0 {
+		c--
+	}
+	t.base[idx] = c
+}
+
+// OracleFixes reports whether the deterministic oracle corrects a
+// misprediction (zero fraction by default for TAGE — the realistic axis runs
+// without the paper's oracle).
+func (t *Tage) OracleFixes(seq uint64) bool {
+	return oracleFixes(t.cfg, seq)
+}
+
+// Counters returns the statistics block.
+func (t *Tage) Counters() *Counters { return &t.stats }
+
+// Config returns the canonicalized configuration.
+func (t *Tage) Config() Config { return t.cfg }
+
+// Reset restores the freshly-built state, reusing all allocations: base
+// counters weakly not-taken, tagged tables empty, history and folds cleared,
+// snapshot slot 0 holding the empty-history checkpoint.
+func (t *Tage) Reset() {
+	for i := range t.base {
+		t.base[i] = 1
+	}
+	for i := range t.tab {
+		t.tab[i] = tagEntry{}
+	}
+	for i := range t.bits {
+		t.bits[i] = 0
+	}
+	for i := range t.folds {
+		t.folds[i] = 0
+	}
+	for i := range t.snaps {
+		t.snaps[i] = 0
+	}
+	t.head = 0
+	t.version = 0
+	t.useAlt = 0
+	t.uTick = 0
+	t.snapshot(0)
+	t.stats.reset()
+}
+
+var _ Predictor = (*Tage)(nil)

@@ -221,6 +221,31 @@ func (m *MDT) lookup(gran uint64, alloc bool) *mdtEntry {
 	return e
 }
 
+// Preprobe warms the way memo of the set a *predicted* load address maps to
+// (see SFC.Preprobe for the harmlessness argument). A no-op for the
+// untagged MDT, which is direct-mapped and keeps no memo. Returns whether
+// the granule is present.
+func (m *MDT) Preprobe(addr uint64) bool {
+	gran := addr >> m.granSh
+	set := int(gran & m.setMask)
+	base := set * m.cfg.Ways
+	if !m.cfg.Tagged {
+		return m.entries[base].valid
+	}
+	if w := m.lastWay[set]; w >= 0 {
+		if e := &m.entries[w]; e.valid && e.tag == gran {
+			return true
+		}
+	}
+	for i := base; i < base+m.cfg.Ways; i++ {
+		if e := &m.entries[i]; e.valid && e.tag == gran {
+			m.lastWay[set] = int32(i)
+			return true
+		}
+	}
+	return false
+}
+
 // AccessLoad performs a load's MDT access (at execution, once the address is
 // known). It detects anti-dependence violations and records the load as the
 // latest to its address. On a violation the load itself is the flush point

@@ -236,6 +236,31 @@ func (s *SFC) CanWrite(addr uint64) bool {
 	return false
 }
 
+// Preprobe warms the way memo of the set a *predicted* load address maps to
+// (PCAX-style pre-probe at dispatch; see core.AddrPred). It touches no
+// statistics and no entry state — only lastWay, which every real access
+// validates against the entry tag before trusting — so a wrong prediction
+// is harmless beyond making the eventual walk start at a stale memo.
+// Returns whether the word is present (used by the pipeline's pre-probe hit
+// accounting only).
+func (s *SFC) Preprobe(addr uint64) bool {
+	word := addr >> 3
+	set := int(word & s.setMask)
+	if w := s.lastWay[set]; w >= 0 {
+		if e := &s.entries[w]; e.valid && e.tag == word {
+			return true
+		}
+	}
+	base := set * s.cfg.Ways
+	for i := base; i < base+s.cfg.Ways; i++ {
+		if e := &s.entries[i]; e.valid && e.tag == word {
+			s.lastWay[set] = int32(i)
+			return true
+		}
+	}
+	return false
+}
+
 // StoreWrite records a completing store's bytes. It returns false on a set
 // conflict, in which case the store cannot complete and must be dropped and
 // re-executed. Writing sets the valid bits of the written bytes and clears

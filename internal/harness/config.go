@@ -5,8 +5,12 @@
 package harness
 
 import (
+	"fmt"
+
+	"sfcmdt/internal/bpred"
 	"sfcmdt/internal/core"
 	"sfcmdt/internal/pipeline"
+	"sfcmdt/internal/prefetch"
 )
 
 // Variant names a memory-subsystem + predictor combination from the
@@ -86,4 +90,57 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// Frontend names the DESIGN.md §14 frontend-realism options by the strings
+// the CLIs and the service speak, the way Variant names memory subsystems.
+// The zero value is the golden default: gshare, no prefetcher, no pre-probe
+// — applying it leaves a configuration untouched, so every golden figure
+// stays byte-identical.
+type Frontend struct {
+	BPred    string // "" or "gshare" (default), "tage"
+	Prefetch string // "" or "none" (default), "stride"
+	Preprobe bool   // PCAX-style SFC/MDT pre-probe at load dispatch
+}
+
+// Default reports whether f selects the golden default frontend.
+func (f Frontend) Default() bool {
+	return (f.BPred == "" || f.BPred == "gshare") &&
+		(f.Prefetch == "" || f.Prefetch == "none") && !f.Preprobe
+}
+
+// Validate checks the option names without touching a configuration.
+func (f Frontend) Validate() error {
+	switch f.BPred {
+	case "", "gshare", "tage":
+	default:
+		return fmt.Errorf("harness: unknown branch predictor %q (want gshare or tage)", f.BPred)
+	}
+	switch f.Prefetch {
+	case "", "none", "stride":
+	default:
+		return fmt.Errorf("harness: unknown prefetcher %q (want none or stride)", f.Prefetch)
+	}
+	return nil
+}
+
+// Apply sets cfg's frontend fields and tags cfg.Name with each non-default
+// option, so results and progress lines name the frontend they ran under.
+func (f Frontend) Apply(cfg *pipeline.Config) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	if f.BPred == "tage" {
+		cfg.BPred = bpred.TageConfig()
+		cfg.Name += "+tage"
+	}
+	if f.Prefetch == "stride" {
+		cfg.Prefetch = prefetch.StrideConfig()
+		cfg.Name += "+pf"
+	}
+	if f.Preprobe {
+		cfg.Preprobe = core.AddrPredDefaults()
+		cfg.Name += "+pp"
+	}
+	return nil
 }

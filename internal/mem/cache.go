@@ -31,9 +31,10 @@ func (c CacheConfig) Validate() error {
 }
 
 type cacheLine struct {
-	tag   uint64
-	valid bool
-	lru   uint64 // last-touch stamp
+	tag      uint64
+	valid    bool
+	prefetch bool   // filled by a prefetch, not yet demanded
+	lru      uint64 // last-touch stamp
 }
 
 // Cache is a tag-only set-associative cache with true-LRU replacement. Data
@@ -47,6 +48,11 @@ type Cache struct {
 	stamp  uint64
 	Hits   uint64
 	Misses uint64
+
+	// Prefetch accounting: lines installed by PrefetchFill, and demand hits
+	// that landed on a still-prefetch-tagged line (useful prefetches).
+	PrefetchFills uint64
+	PrefetchHits  uint64
 }
 
 // NewCache builds a cache with the given geometry.
@@ -83,6 +89,10 @@ func (c *Cache) Access(addr uint64) bool {
 		if ln.valid && ln.tag == tag {
 			ln.lru = c.stamp
 			c.Hits++
+			if ln.prefetch {
+				ln.prefetch = false
+				c.PrefetchHits++
+			}
 			return true
 		}
 		if !ln.valid {
@@ -107,6 +117,34 @@ func (c *Cache) Probe(addr uint64) bool {
 			return true
 		}
 	}
+	return false
+}
+
+// PrefetchFill installs the line containing addr with the prefetch tag set,
+// reporting true when the line was already present (a redundant prefetch; no
+// state changes, not even LRU, so redundant prefetches cannot perturb
+// replacement). Fills count neither Hits nor Misses — prefetch traffic is
+// accounted separately via PrefetchFills/PrefetchHits.
+func (c *Cache) PrefetchFill(addr uint64) bool {
+	block := addr >> c.lineSh
+	set := int(block) & (c.sets - 1)
+	tag := block >> uint(log2(c.sets))
+	base := set * c.cfg.Ways
+	victim := base
+	for i := base; i < base+c.cfg.Ways; i++ {
+		ln := &c.lines[i]
+		if ln.valid && ln.tag == tag {
+			return true
+		}
+		if !ln.valid {
+			victim = i
+		} else if c.lines[victim].valid && ln.lru < c.lines[victim].lru {
+			victim = i
+		}
+	}
+	c.stamp++
+	c.lines[victim] = cacheLine{tag: tag, valid: true, prefetch: true, lru: c.stamp}
+	c.PrefetchFills++
 	return false
 }
 
@@ -190,6 +228,20 @@ func (h *Hierarchy) DataLatency(addr uint64) int {
 	return h.cfg.L1HitCycles + h.cfg.L1MissCycles + h.cfg.L2MissCycles
 }
 
+// PrefetchData installs the line containing addr into the L1D (and L2, as
+// the fill passes through it) with the prefetch tag set. It reports whether
+// the line was already in the L1D (redundant) and, when it was not, the fill
+// latency: how long a demand access arriving immediately would still wait.
+func (h *Hierarchy) PrefetchData(addr uint64) (redundant bool, fillCycles int) {
+	if h.L1D.PrefetchFill(addr) {
+		return true, 0
+	}
+	if h.L2.PrefetchFill(addr) {
+		return false, h.cfg.L1MissCycles
+	}
+	return false, h.cfg.L1MissCycles + h.cfg.L2MissCycles
+}
+
 // Reset invalidates every line and clears the LRU clock and hit/miss
 // counters, restoring the freshly-built state without reallocating.
 func (c *Cache) Reset() {
@@ -199,6 +251,8 @@ func (c *Cache) Reset() {
 	c.stamp = 0
 	c.Hits = 0
 	c.Misses = 0
+	c.PrefetchFills = 0
+	c.PrefetchHits = 0
 }
 
 // Reset restores all three cache levels to their freshly-built state.

@@ -85,6 +85,35 @@ type Stats struct {
 	L1IHits, L1IMisses uint64
 	L1DHits, L1DMisses uint64
 	L2Hits, L2Misses   uint64
+
+	// Branch predictor internals (surfaced from bpred.Counters; DESIGN.md
+	// §14). BPredBaseWrong counts the predictor's own wrong directions
+	// before oracle correction; the TAGE-only counters stay zero under
+	// gshare.
+	BPredLookups        uint64
+	BPredBaseWrong      uint64
+	BPredTaggedProvider uint64
+	BPredAltUsed        uint64
+	BPredAllocs         uint64
+
+	// L1D stride prefetcher (zero when disabled). Issued counts fills
+	// actually sent to the hierarchy; Useful counts demand hits on
+	// still-prefetch-tagged L1D lines; Late counts demand hits that had to
+	// wait out an in-flight fill; Redundant counts candidates already
+	// resident.
+	PrefetchIssued    uint64
+	PrefetchUseful    uint64
+	PrefetchLate      uint64
+	PrefetchRedundant uint64
+
+	// PCAX-style pre-probe (zero when disabled). Lookups counts load
+	// dispatches consulting the address predictor; Hits/Misses score the
+	// confident predictions at execute; Warms counts pre-probes that found
+	// the predicted address already resident in the SFC/MDT.
+	PreprobeLookups uint64
+	PreprobeHits    uint64
+	PreprobeMisses  uint64
+	PreprobeWarms   uint64
 }
 
 // AvgOccupancy returns the mean ROB occupancy per cycle.
@@ -169,6 +198,34 @@ func (s *Stats) MispredictRate() float64 {
 		return 0
 	}
 	return float64(s.Mispredicts) / float64(s.CondBranches)
+}
+
+// PrefetchAccuracy returns useful prefetches per issued prefetch.
+func (s *Stats) PrefetchAccuracy() float64 {
+	if s.PrefetchIssued == 0 {
+		return 0
+	}
+	return float64(s.PrefetchUseful) / float64(s.PrefetchIssued)
+}
+
+// L1DDemandMissRate returns L1D demand misses per demand access (prefetch
+// fills are not demand accesses and are excluded by construction).
+func (s *Stats) L1DDemandMissRate() float64 {
+	total := s.L1DHits + s.L1DMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.L1DMisses) / float64(total)
+}
+
+// PreprobeHitRate returns correct address predictions per confident
+// prediction made.
+func (s *Stats) PreprobeHitRate() float64 {
+	preds := s.PreprobeHits + s.PreprobeMisses
+	if preds == 0 {
+		return 0
+	}
+	return float64(s.PreprobeHits) / float64(preds)
 }
 
 // String summarizes the headline numbers.

@@ -18,6 +18,7 @@ import (
 	"sfcmdt/internal/bpred"
 	"sfcmdt/internal/core"
 	"sfcmdt/internal/mem"
+	"sfcmdt/internal/prefetch"
 )
 
 // MemSysKind selects the memory subsystem.
@@ -115,6 +116,13 @@ type Config struct {
 	Pred  core.PredictorConfig
 	BPred bpred.Config
 
+	// Frontend realism options, all off by default (golden figures):
+	// Prefetch enables an L1D hardware prefetcher trained on demand misses
+	// at execute; Preprobe enables the PCAX-style load-address predictor
+	// that pre-probes the SFC/MDT way memos at dispatch.
+	Prefetch prefetch.Config
+	Preprobe core.AddrPredConfig
+
 	// Memory hierarchy.
 	Hier mem.HierarchyConfig
 
@@ -209,9 +217,24 @@ func (c *Config) Validate() error {
 	if c.Hier.L1I.SizeBytes == 0 {
 		c.Hier = mem.DefaultHierarchy()
 	}
-	if c.BPred.Bits == 0 {
+	if c.BPred.Bits == 0 && c.BPred.Kind == bpred.KindGshare {
 		c.BPred = bpred.DefaultConfig()
 	}
+	c.BPred = c.BPred.WithDefaults()
+	if c.BPred.Kind == bpred.KindTage {
+		// The TAGE snapshot ring must cover every token the pipeline can
+		// hold live: one per in-flight instruction (ROB + fetch queue),
+		// plus slack for the checkpoint taken before the oldest.
+		if need := c.ROBSize + c.FetchQueueCap + 8; c.BPred.SpecDepth < need {
+			p := 1
+			for p < need {
+				p *= 2
+			}
+			c.BPred.SpecDepth = p
+		}
+	}
+	c.Prefetch = c.Prefetch.WithDefaults()
+	c.Preprobe = c.Preprobe.WithDefaults()
 	if c.MaxInsts == 0 {
 		c.MaxInsts = 200_000
 	}

@@ -1,0 +1,97 @@
+package pipeline
+
+// Frontend realism hooks: L1D stride prefetching and the PCAX-style
+// load-address pre-probe (DESIGN.md §14). Both are off by default; when off,
+// every hook below is a nil-check no-op and the simulated machine is
+// bit-identical to the golden Figure 5 configuration.
+//
+// Elision safety: all frontend state mutates only when a stage makes real
+// progress — the prefetcher trains inside a load's execute, the address
+// predictor trains at execute and predicts on a successful dispatch (after
+// every stall check has passed). A quiescent span therefore never touches
+// frontend state, and the quiesce() proof in elide.go needs no new cases.
+
+// pfPendSize bounds the in-flight-prefetch ring. Prefetches beyond the ring
+// overwrite the oldest pending record: the line is still installed, only its
+// late-arrival residual is forgotten (a real prefetch queue drops requests
+// the same way).
+const pfPendSize = 32
+
+// pfPending tracks one issued prefetch's fill: a demand access to its block
+// before readyAt pays the remaining fill latency (a "late" prefetch).
+type pfPending struct {
+	block   uint64
+	readyAt uint64
+}
+
+// demandLoadLatency models a demand access by the load at pc: the usual
+// hierarchy access, plus prefetcher training on misses and the late-arrival
+// penalty for demand hits on lines whose prefetch is still in flight.
+// Called only from executeLoad paths (issue-time progress), never from
+// stall probes.
+func (p *Pipeline) demandLoadLatency(pc, addr uint64) int {
+	lat := p.hier.DataLatency(addr)
+	if p.pf == nil {
+		return lat
+	}
+	hitCycles := p.hier.Config().L1HitCycles
+	if lat <= hitCycles {
+		// A hit may be on a prefetched line whose fill has not completed:
+		// the demand access waits out the residual.
+		block := addr >> p.pfBlockSh
+		for i := range p.pfPend {
+			pe := &p.pfPend[i]
+			if pe.readyAt > p.cycle && pe.block == block {
+				lat = hitCycles + int(pe.readyAt-p.cycle)
+				p.stats.PrefetchLate++
+				break
+			}
+		}
+		return lat
+	}
+	// Demand miss: train the RPT and issue this PC's prefetch candidates
+	// into the fill path.
+	for _, a := range p.pf.Observe(pc, addr) {
+		redundant, fill := p.hier.PrefetchData(a)
+		if redundant {
+			p.stats.PrefetchRedundant++
+			continue
+		}
+		p.stats.PrefetchIssued++
+		p.pfPend[p.pfPendIdx] = pfPending{block: a >> p.pfBlockSh, readyAt: p.cycle + uint64(fill)}
+		p.pfPendIdx = (p.pfPendIdx + 1) % pfPendSize
+	}
+	return lat
+}
+
+// preprobeLoad runs at a load's dispatch, strictly after every stall check
+// has passed: predict the load's address from its PC and warm the SFC/MDT
+// way memos for it. The execute-time hook below validates the prediction.
+func (p *Pipeline) preprobeLoad(e *entry) {
+	p.stats.PreprobeLookups++
+	addr, ok := p.app.PredictAddr(e.pc)
+	if !ok {
+		return
+	}
+	e.preprobed = true
+	e.preprobeAddr = addr
+	if p.msys.preprobe(addr) {
+		p.stats.PreprobeWarms++
+	}
+}
+
+// trainAddrPred runs at a load's execute, once the real address is known:
+// score the dispatch-time prediction and train the table. Replays re-train
+// (stride 0), which is deterministic and matches a real table seeing the
+// re-executed access.
+func (p *Pipeline) trainAddrPred(e *entry) {
+	if e.preprobed {
+		if e.preprobeAddr == e.memAddr {
+			p.stats.PreprobeHits++
+		} else {
+			p.stats.PreprobeMisses++
+		}
+		e.preprobed = false
+	}
+	p.app.Train(e.pc, e.memAddr)
+}

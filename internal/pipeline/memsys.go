@@ -52,6 +52,13 @@ type memSystem interface {
 	retireLoad(e *entry) (freedEntries bool)
 	retireStore(e *entry) (addr uint64, size int, value uint64, freedEntries bool, err error)
 
+	// preprobe speculatively warms disambiguation state for a *predicted*
+	// load address (PCAX-style pre-probe at dispatch; frontend.go). It must
+	// be provably harmless: only validated-before-use hints (way memos) may
+	// change, never forwarding or disambiguation outcomes. Returns whether
+	// the address was present (pre-probe warm accounting only).
+	preprobe(addr uint64) bool
+
 	// squashFrom removes speculative state for seq >= from.
 	squashFrom(from seqnum.Seq)
 
@@ -107,7 +114,7 @@ func (m *mdtSFCSystem) executeLoad(e *entry, head bool) memOutcome {
 		// ROB-head bypass (§2.2): all older stores have retired and
 		// committed, so the cache-memory hierarchy is authoritative.
 		p.stats.HeadBypassLoads++
-		lat := p.cfg.AGULat + p.hier.DataLatency(e.memAddr)
+		lat := p.cfg.AGULat + p.demandLoadLatency(e.pc, e.memAddr)
 		return memOutcome{value: p.memory.ReadUint(e.memAddr, e.memSize), latency: lat}
 	}
 	// §4 search filtering (store-vulnerability-window test): if every
@@ -149,7 +156,7 @@ func (m *mdtSFCSystem) executeLoad(e *entry, head bool) memOutcome {
 		}
 		// Merge the missing bytes from the cache hierarchy: one word read,
 		// one masked merge.
-		lat := p.cfg.AGULat + p.hier.DataLatency(e.memAddr)
+		lat := p.cfg.AGULat + p.demandLoadLatency(e.pc, e.memAddr)
 		memv := p.memory.ReadUint(e.memAddr, e.memSize)
 		v := sres.Word | memv&^core.ExpandByteMask(sres.ValidMask)
 		p.stats.SFCPartialMerges++
@@ -157,11 +164,11 @@ func (m *mdtSFCSystem) executeLoad(e *entry, head bool) memOutcome {
 	case core.SFCFull:
 		// Forwarded from the SFC; accessed in parallel with the L1, so
 		// data is available at L1-hit time regardless of cache state.
-		p.hier.DataLatency(e.memAddr) // keep cache tag state warm
+		p.demandLoadLatency(e.pc, e.memAddr) // keep cache tag state warm
 		p.stats.SFCForwards++
 		return memOutcome{value: sres.Word, latency: p.cfg.AGULat + p.hier.Config().L1HitCycles, forwarded: true}
 	default: // SFCMiss
-		lat := p.cfg.AGULat + p.hier.DataLatency(e.memAddr)
+		lat := p.cfg.AGULat + p.demandLoadLatency(e.pc, e.memAddr)
 		return memOutcome{value: p.memory.ReadUint(e.memAddr, e.memSize), latency: lat}
 	}
 }
@@ -211,6 +218,14 @@ func (m *mdtSFCSystem) executeStore(e *entry, head bool) memOutcome {
 	p.sfcLiveStores++
 	m.fifo.Execute(e.seq, e.memAddr, e.memSize, e.memVal)
 	return out
+}
+
+func (m *mdtSFCSystem) preprobe(addr uint64) bool {
+	hit := m.sfc.Preprobe(addr)
+	if m.mdt.Preprobe(addr) {
+		hit = true
+	}
+	return hit
 }
 
 func (m *mdtSFCSystem) preRetireLoad(e *entry) *core.Violation { return nil }
@@ -295,7 +310,7 @@ func (m *lsqSystem) executeLoad(e *entry, head bool) memOutcome {
 		lat += p.cfg.BypassLat
 		p.stats.LSQForwards++
 	} else {
-		lat += p.hier.DataLatency(e.memAddr)
+		lat += p.demandLoadLatency(e.pc, e.memAddr)
 		if res.Partial {
 			p.stats.LSQPartialMerges++
 		}
@@ -312,6 +327,9 @@ func (m *lsqSystem) executeStore(e *entry, head bool) memOutcome {
 	}
 	return memOutcome{latency: p.cfg.AGULat, violation: viol}
 }
+
+// The LSQ has no set-associative disambiguation state to warm.
+func (m *lsqSystem) preprobe(addr uint64) bool { return false }
 
 func (m *lsqSystem) preRetireLoad(e *entry) *core.Violation { return nil }
 
@@ -380,7 +398,7 @@ func (m *valueReplaySystem) executeLoad(e *entry, head bool) memOutcome {
 		lat += p.cfg.BypassLat
 		p.stats.LSQForwards++
 	} else {
-		lat += p.hier.DataLatency(e.memAddr)
+		lat += p.demandLoadLatency(e.pc, e.memAddr)
 		if res.Partial {
 			p.stats.LSQPartialMerges++
 		}
@@ -395,6 +413,8 @@ func (m *valueReplaySystem) executeStore(e *entry, head bool) memOutcome {
 	}
 	return memOutcome{latency: m.p.cfg.AGULat}
 }
+
+func (m *valueReplaySystem) preprobe(addr uint64) bool { return false }
 
 func (m *valueReplaySystem) preRetireLoad(e *entry) *core.Violation {
 	// The retirement-time replay accesses the D-cache again — the extra
@@ -464,7 +484,7 @@ func (m *mvSFCSystem) executeLoad(e *entry, head bool) memOutcome {
 	p := m.p
 	if head {
 		p.stats.HeadBypassLoads++
-		lat := p.cfg.AGULat + p.hier.DataLatency(e.memAddr)
+		lat := p.cfg.AGULat + p.demandLoadLatency(e.pc, e.memAddr)
 		return memOutcome{value: p.memory.ReadUint(e.memAddr, e.memSize), latency: lat}
 	}
 	res := m.mdt.AccessLoad(e.seq, e.pc, e.memAddr, e.memSize)
@@ -474,17 +494,17 @@ func (m *mvSFCSystem) executeLoad(e *entry, head bool) memOutcome {
 	sres := m.sfc.LoadRead(e.seq, e.memAddr, e.memSize)
 	switch sres.Status {
 	case core.SFCFull:
-		p.hier.DataLatency(e.memAddr)
+		p.demandLoadLatency(e.pc, e.memAddr)
 		p.stats.SFCForwards++
 		return memOutcome{value: sres.Word, latency: p.cfg.AGULat + p.hier.Config().L1HitCycles, forwarded: true}
 	case core.SFCPartial:
-		lat := p.cfg.AGULat + p.hier.DataLatency(e.memAddr)
+		lat := p.cfg.AGULat + p.demandLoadLatency(e.pc, e.memAddr)
 		memv := p.memory.ReadUint(e.memAddr, e.memSize)
 		v := sres.Word | memv&^core.ExpandByteMask(sres.ValidMask)
 		p.stats.SFCPartialMerges++
 		return memOutcome{value: v, latency: lat}
 	default:
-		lat := p.cfg.AGULat + p.hier.DataLatency(e.memAddr)
+		lat := p.cfg.AGULat + p.demandLoadLatency(e.pc, e.memAddr)
 		return memOutcome{value: p.memory.ReadUint(e.memAddr, e.memSize), latency: lat}
 	}
 }
@@ -512,6 +532,10 @@ func (m *mvSFCSystem) executeStore(e *entry, head bool) memOutcome {
 	m.fifo.Execute(e.seq, e.memAddr, e.memSize, e.memVal)
 	return out
 }
+
+// Only the MDT's way memo can be warmed here; the multi-version SFC keys
+// its versions by sequence number, which is unknown at dispatch.
+func (m *mvSFCSystem) preprobe(addr uint64) bool { return m.mdt.Preprobe(addr) }
 
 func (m *mvSFCSystem) preRetireLoad(e *entry) *core.Violation { return nil }
 

@@ -11,6 +11,7 @@ import (
 	"sfcmdt/internal/isa"
 	"sfcmdt/internal/mem"
 	"sfcmdt/internal/metrics"
+	"sfcmdt/internal/prefetch"
 	"sfcmdt/internal/prog"
 	"sfcmdt/internal/sched"
 	"sfcmdt/internal/seqnum"
@@ -60,6 +61,11 @@ type entry struct {
 	memSize         int
 	memVal          uint64 // store data (masked) or raw load bytes
 	forwarded       bool
+
+	// Pre-probe state (frontend.go): the address predicted at dispatch,
+	// validated (and cleared) at the load's first execute.
+	preprobeAddr uint64
+	preprobed    bool
 
 	// Control state.
 	isCond, isJump bool
@@ -124,11 +130,19 @@ type Pipeline struct {
 	src    ReplaySource
 	memory *mem.Sparse
 	hier   *mem.Hierarchy
-	bp     *bpred.Gshare
+	bp     bpred.Predictor
+	bpc    *bpred.Counters // p.bp.Counters(), cached
 	pred   *core.Predictor
-	msys   memSystem
-	seqs   *seqnum.Allocator
-	stats  metrics.Stats
+
+	// Frontend realism state (frontend.go); nil when the feature is off.
+	pf        *prefetch.Stride
+	app       *core.AddrPred
+	pfPend    [pfPendSize]pfPending
+	pfPendIdx int
+	pfBlockSh uint
+	msys      memSystem
+	seqs      *seqnum.Allocator
+	stats     metrics.Stats
 
 	// Rename state.
 	rat       []physReg
@@ -279,6 +293,31 @@ func (p *Pipeline) reset(cfg Config, img *prog.Image, src ReplaySource, st *Star
 		p.bp = bpred.New(cfg.BPred)
 	} else {
 		p.bp.Reset()
+	}
+	p.bpc = p.bp.Counters()
+	switch {
+	case cfg.Prefetch.Kind == prefetch.KindNone:
+		p.pf = nil
+	case p.pf == nil || p.pf.Config() != cfg.Prefetch:
+		p.pf = prefetch.NewStride(cfg.Prefetch)
+	default:
+		p.pf.Reset()
+	}
+	for i := range p.pfPend {
+		p.pfPend[i] = pfPending{}
+	}
+	p.pfPendIdx = 0
+	p.pfBlockSh = 0
+	for 1<<p.pfBlockSh < cfg.Hier.L1D.LineBytes {
+		p.pfBlockSh++
+	}
+	switch {
+	case !cfg.Preprobe.Enabled:
+		p.app = nil
+	case p.app == nil || p.app.Config() != cfg.Preprobe:
+		p.app = core.NewAddrPred(cfg.Preprobe)
+	default:
+		p.app.Reset()
 	}
 	if p.pred == nil || !p.pred.ResetFor(cfg.Pred) {
 		p.pred = core.NewPredictor(cfg.Pred)
@@ -617,6 +656,13 @@ func (p *Pipeline) finalize() *metrics.Stats {
 	p.stats.L1IHits, p.stats.L1IMisses = h.L1I.Hits, h.L1I.Misses
 	p.stats.L1DHits, p.stats.L1DMisses = h.L1D.Hits, h.L1D.Misses
 	p.stats.L2Hits, p.stats.L2Misses = h.L2.Hits, h.L2.Misses
+	p.stats.PrefetchUseful = h.L1D.PrefetchHits
+	bc := p.bpc
+	p.stats.BPredLookups = bc.Lookups
+	p.stats.BPredBaseWrong = bc.BaseWrong
+	p.stats.BPredTaggedProvider = bc.TaggedProvider
+	p.stats.BPredAltUsed = bc.AltUsed
+	p.stats.BPredAllocs = bc.Allocs
 	return &p.stats
 }
 
@@ -734,11 +780,21 @@ func (p *Pipeline) completeEntry(e *entry) {
 		p.physReady[e.newPhys] = true
 		p.wakeRegister(e.newPhys)
 	}
-	// Branch resolution.
+	// Branch resolution. A mispredicted conditional rewinds the history to
+	// its pre-prediction checkpoint and shifts the resolved direction in
+	// (resolveDir); any other flush restores a checkpoint verbatim.
 	if e.isCond || e.isJump {
 		if e.actualNext != e.predNextPC {
 			p.stats.MispredictFlushes++
-			p.recover(e.seq+1, e.actualNext, e.nextTraceIdx(), e.ghrAfterActual(), p.cfg.MispredictPenalty)
+			if e.isCond {
+				dir := int8(0)
+				if e.actualTaken {
+					dir = 1
+				}
+				p.recover(e.seq+1, e.actualNext, e.nextTraceIdx(), e.ghrBefore, dir, p.cfg.MispredictPenalty)
+			} else {
+				p.recover(e.seq+1, e.actualNext, e.nextTraceIdx(), e.ghrAfter, -1, p.cfg.MispredictPenalty)
+			}
 			return
 		}
 	}
@@ -756,20 +812,6 @@ func (e *entry) nextTraceIdx() int {
 		return -1
 	}
 	return e.traceIdx + 1
-}
-
-// ghrAfterActual returns the history to restore after resolving e: for a
-// mispredicted conditional branch the speculative shift was wrong, so the
-// corrected direction is shifted into the pre-branch history.
-func (e *entry) ghrAfterActual() uint32 {
-	if !e.isCond {
-		return e.ghrAfter
-	}
-	h := e.ghrBefore << 1
-	if e.actualTaken {
-		h |= 1
-	}
-	return h
 }
 
 func (p *Pipeline) handleViolation(e *entry, v *core.Violation) {
@@ -813,7 +855,7 @@ func (p *Pipeline) handleViolation(e *entry, v *core.Violation) {
 		// fetch already sits at the right PC.
 		return
 	}
-	p.recover(v.FlushFromSeq, resumePC, resumeTrace, ghr, penalty)
+	p.recover(v.FlushFromSeq, resumePC, resumeTrace, ghr, -1, penalty)
 }
 
 // ---------------------------------------------------------------------------
@@ -832,8 +874,11 @@ func (p *Pipeline) firstAtOrAfter(from seqnum.Seq) int {
 // recover squashes every instruction with seq >= from, restores the rename
 // and history state, and redirects fetch to resumePC after the given
 // penalty. resumeTrace is the golden-trace index of the instruction at
-// resumePC, or -1 if recovery lands on the wrong path.
-func (p *Pipeline) recover(from seqnum.Seq, resumePC uint64, resumeTrace int, ghr uint32, penalty int) {
+// resumePC, or -1 if recovery lands on the wrong path. resolveDir < 0
+// restores the ghr checkpoint verbatim; 0/1 treats ghr as the checkpoint
+// taken before a mispredicted conditional branch and shifts the resolved
+// direction in (Predictor.Resolve).
+func (p *Pipeline) recover(from seqnum.Seq, resumePC uint64, resumeTrace int, ghr uint32, resolveDir int8, penalty int) {
 	idx := p.firstAtOrAfter(from)
 	if p.dbg != nil {
 		p.debugf("c%d RECOVER from=%d resumePC=%#x resumeTrace=%d squash=%d+fq%d", p.cycle, from, resumePC, resumeTrace, p.rob.len()-idx, p.fq.len())
@@ -890,7 +935,11 @@ func (p *Pipeline) recover(from seqnum.Seq, resumePC uint64, resumeTrace int, gh
 	// larger, so the window never covers live instructions.
 	p.msys.onPartialFlush(from, p.seqs.Peek()-1, canceledCompletedStore, p.sfcLiveStores)
 
-	p.bp.Restore(ghr)
+	if resolveDir >= 0 {
+		p.bp.Resolve(ghr, resolveDir == 1)
+	} else {
+		p.bp.Restore(ghr)
+	}
 	p.fetchPC = resumePC
 	p.fetchTraceIdx = resumeTrace
 	p.onCorrectPath = resumeTrace >= 0
@@ -917,7 +966,7 @@ func (p *Pipeline) retire() {
 				// itself. Detection this late is the scheme's cost.
 				p.stats.TrueViolations++
 				p.stats.ViolationFlushes++
-				p.recover(e.seq, e.pc, e.traceIdx, e.ghrBefore, p.cfg.MispredictPenalty)
+				p.recover(e.seq, e.pc, e.traceIdx, e.ghrBefore, -1, p.cfg.MispredictPenalty)
 				return
 			}
 		}
@@ -955,7 +1004,7 @@ func (p *Pipeline) retire() {
 			p.stats.CondBranches++
 			if e.predNextPC != e.actualNext {
 				p.stats.Mispredicts++
-				p.bp.FinalMispredicts++
+				p.bpc.FinalMispredicts++
 			}
 			p.bp.Update(e.pc, e.ghrBefore, e.actualTaken)
 		}
@@ -1396,6 +1445,9 @@ func (p *Pipeline) executeLoad(e *entry, head bool) {
 	// programs are aligned by construction (the golden model faults
 	// otherwise).
 	e.memAddr = addr &^ (uint64(e.memSize) - 1)
+	if p.app != nil {
+		p.trainAddrPred(e)
+	}
 	out := p.msys.executeLoad(e, head)
 	if p.dbg != nil {
 		p.debugf("c%d LOAD  seq=%d ti=%d pc=%#x addr=%#x head=%v replay=%v/%d val=%#x fwd=%v viol=%+v", p.cycle, e.seq, e.traceIdx, e.pc, e.memAddr, head, out.replay, out.cause, out.value, out.forwarded, out.violation)
@@ -1560,6 +1612,13 @@ func (p *Pipeline) dispatch() {
 		}
 
 		if isLoad {
+			// Pre-probe the SFC/MDT for the predicted address (frontend.go).
+			// This sits strictly after every stall check above: a stalled
+			// dispatch attempt must stay side-effect-free so the idle-cycle
+			// elision proof (quiesce) holds.
+			if p.app != nil {
+				p.preprobeLoad(e)
+			}
 			p.msys.dispatchLoad(e.seq, e.pc)
 		}
 		if isStore {
@@ -1621,14 +1680,14 @@ func (p *Pipeline) fetch() {
 		switch {
 		case dec.IsBranch:
 			dir := p.bp.Predict(pc)
-			p.bp.Lookups++
+			p.bpc.Lookups++
 			if p.onCorrectPath {
 				trueTaken := p.src.TakenAt(p.fetchTraceIdx)
 				if dir != trueTaken {
-					p.bp.GshareWrong++
+					p.bpc.BaseWrong++
 					if p.bp.OracleFixes(uint64(seq)) {
 						dir = trueTaken
-						p.bp.OracleCorrected++
+						p.bpc.OracleCorrected++
 						p.stats.OracleCorrected++
 					}
 				}

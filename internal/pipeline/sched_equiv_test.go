@@ -5,7 +5,9 @@ import (
 	"math/rand"
 	"testing"
 
+	"sfcmdt/internal/bpred"
 	"sfcmdt/internal/core"
+	"sfcmdt/internal/prefetch"
 )
 
 // schedEquivConfigs are the configurations the wakeup scheduler must match
@@ -40,6 +42,20 @@ func schedEquivConfigs() []Config {
 			Name: "equiv-value-replay", Width: 4, ROBSize: 64, MemSys: MemValueReplay,
 			LSQ:  core.LSQConfig{LoadEntries: 16, StoreEntries: 12},
 			Pred: core.PredictorConfig{Mode: core.PredOff}, MaxInsts: 4000,
+		},
+		{
+			// The full frontend stack (DESIGN.md §14): TAGE direction
+			// prediction, stride prefetching into the L1D, and the PCAX
+			// pre-probe — all three must stay bit-identical across
+			// scheduler choice and idle-cycle elision.
+			Name: "equiv-frontend", Width: 4, ROBSize: 96, MemSys: MemMDTSFC,
+			MDT:      core.MDTConfig{Sets: 64, Ways: 2, GranBytes: 8, Tagged: true},
+			SFC:      core.SFCConfig{Sets: 16, Ways: 2},
+			Pred:     core.PredictorConfig{Mode: core.PredPairwise},
+			BPred:    bpred.TageConfig(),
+			Prefetch: prefetch.StrideConfig(),
+			Preprobe: core.AddrPredDefaults(),
+			MaxInsts: 4000,
 		},
 	}
 }

@@ -53,6 +53,14 @@ type RunRequest struct {
 	// zero picks the paper's sizes for the processor configuration.
 	LQ int `json:"lq,omitempty"`
 	SQ int `json:"sq,omitempty"`
+	// BPred selects the branch predictor: "gshare" (default) or "tage".
+	BPred string `json:"bpred,omitempty"`
+	// Prefetch selects the L1D hardware prefetcher: "none" (default) or
+	// "stride".
+	Prefetch string `json:"prefetch,omitempty"`
+	// Preprobe enables the PCAX-style load-address pre-probe of the
+	// SFC/MDT way memos (off by default; provably timing-only).
+	Preprobe bool `json:"preprobe,omitempty"`
 	// Insts is the correct-path instruction budget; zero picks the
 	// server default, values above the server cap are rejected. Mutually
 	// exclusive with Sampling, whose plan spans the budget instead.
@@ -93,6 +101,20 @@ func (rq *RunRequest) normalize(defaultInsts, maxInsts, maxFFInsts uint64) error
 	case "enf", "not-enf", "total", "off":
 	default:
 		return fmt.Errorf("%w: unknown predictor mode %q (want enf, not-enf, total, or off)", ErrBadRequest, rq.Pred)
+	}
+	switch rq.BPred {
+	case "":
+		rq.BPred = "gshare"
+	case "gshare", "tage":
+	default:
+		return fmt.Errorf("%w: unknown branch predictor %q (want gshare or tage)", ErrBadRequest, rq.BPred)
+	}
+	switch rq.Prefetch {
+	case "":
+		rq.Prefetch = "none"
+	case "none", "stride":
+	default:
+		return fmt.Errorf("%w: unknown prefetcher %q (want none or stride)", ErrBadRequest, rq.Prefetch)
 	}
 	if rq.LQ < 0 || rq.SQ < 0 {
 		return fmt.Errorf("%w: negative queue size lq=%d sq=%d", ErrBadRequest, rq.LQ, rq.SQ)
@@ -169,6 +191,16 @@ func defaultPred(config, mem string) string {
 // them — map to identical keys.
 func (rq RunRequest) Key() string {
 	k := fmt.Sprintf("%s|%s|%s|%s|%d|%d|%d", rq.Workload, rq.Config, rq.Mem, rq.Pred, rq.LQ, rq.SQ, rq.Insts)
+	if !rq.frontend().Default() {
+		// Frontend options suffix the key only when non-default, so every
+		// golden-default request keeps its historical key (and cache
+		// entries written by older servers stay addressable).
+		pp := 0
+		if rq.Preprobe {
+			pp = 1
+		}
+		k += fmt.Sprintf("|f:%s,%s,%d", rq.BPred, rq.Prefetch, pp)
+	}
 	if rq.Sampling != nil {
 		// Sampled runs key on the plan too; unsampled keys keep their
 		// historical format.
@@ -207,6 +239,11 @@ func predMode(pred string) core.PredictorMode {
 	}
 }
 
+// frontend maps the request's frontend fields to the harness options.
+func (rq RunRequest) frontend() harness.Frontend {
+	return harness.Frontend{BPred: rq.BPred, Prefetch: rq.Prefetch, Preprobe: rq.Preprobe}
+}
+
 // pipelineConfig builds the processor configuration a normalized request
 // names, reusing the harness's Figure 4 constructors.
 func (rq RunRequest) pipelineConfig() pipeline.Config {
@@ -228,10 +265,13 @@ func (rq RunRequest) pipelineConfig() pipeline.Config {
 		SQ:    rq.SQ,
 		Pred:  predMode(rq.Pred),
 	}
+	cfg := harness.BaselineConfig(v, rq.Insts)
 	if rq.Config == "aggressive" {
-		return harness.AggressiveConfig(v, rq.Insts)
+		cfg = harness.AggressiveConfig(v, rq.Insts)
 	}
-	return harness.BaselineConfig(v, rq.Insts)
+	// Normalization already validated the names; Apply cannot fail here.
+	rq.frontend().Apply(&cfg)
+	return cfg
 }
 
 // SweepRequest names a grid of runs — the cross product of its axes, the
@@ -243,7 +283,13 @@ type SweepRequest struct {
 	Configs   []string `json:"configs,omitempty"`   // empty = ["baseline"]
 	Mems      []string `json:"mems,omitempty"`      // empty = ["mdtsfc"]
 	Preds     []string `json:"preds,omitempty"`     // empty = per-(config,mem) default
-	Insts     uint64   `json:"insts,omitempty"`
+	// Frontend axes: branch predictors, prefetchers, and pre-probe
+	// settings to cross with the grid. Empty axes default to the golden
+	// frontend (gshare, no prefetch, no pre-probe).
+	BPreds     []string `json:"bpreds,omitempty"`     // empty = ["gshare"]
+	Prefetches []string `json:"prefetches,omitempty"` // empty = ["none"]
+	Preprobes  []bool   `json:"preprobes,omitempty"`  // empty = [false]
+	Insts      uint64   `json:"insts,omitempty"`
 	// Sampling applies one sampling plan to every grid point. Each
 	// workload's intervals are prepared once and shared by every
 	// configuration measured against it, so a sampled sweep pays the
@@ -275,17 +321,34 @@ func (sr SweepRequest) expand() []RunRequest {
 		return xs
 	}
 	configs, mems, preds := one(sr.Configs), one(sr.Mems), one(sr.Preds)
-	out := make([]RunRequest, 0, len(ws)*len(configs)*len(mems)*len(preds))
+	bpreds, prefetches := one(sr.BPreds), one(sr.Prefetches)
+	preprobes := sr.Preprobes
+	if len(preprobes) == 0 {
+		preprobes = []bool{false}
+	}
+	n := len(ws) * len(configs) * len(mems) * len(preds) *
+		len(bpreds) * len(prefetches) * len(preprobes)
+	out := make([]RunRequest, 0, n)
 	for _, w := range ws {
 		for _, c := range configs {
 			for _, m := range mems {
 				for _, p := range preds {
-					rq := RunRequest{Workload: w, Config: c, Mem: m, Pred: p, Insts: sr.Insts}
-					if sr.Sampling != nil {
-						sp := *sr.Sampling // each point owns its spec; normalize mutates requests
-						rq.Sampling = &sp
+					for _, bp := range bpreds {
+						for _, pf := range prefetches {
+							for _, pp := range preprobes {
+								rq := RunRequest{
+									Workload: w, Config: c, Mem: m, Pred: p,
+									BPred: bp, Prefetch: pf, Preprobe: pp,
+									Insts: sr.Insts,
+								}
+								if sr.Sampling != nil {
+									sp := *sr.Sampling // each point owns its spec; normalize mutates requests
+									rq.Sampling = &sp
+								}
+								out = append(out, rq)
+							}
+						}
 					}
-					out = append(out, rq)
 				}
 			}
 		}

@@ -1,0 +1,109 @@
+package workload
+
+import "sfcmdt/internal/prog"
+
+// Frontend-realism stress workloads (DESIGN.md §14). Both are Extra
+// workloads: reachable by name from the harness, benchmarks, and service
+// sweeps, but outside the paper's figure set (and therefore outside the
+// byte-exact Figure 5 golden).
+//
+//   - strided: three constant-stride load streams over L2-exceeding arrays,
+//     a miss pattern the PC-indexed stride prefetcher learns completely —
+//     with -prefetch=stride the L1D demand-miss rate collapses;
+//   - histdep: an alternating trip-count loop (runs of 20 and 28 taken
+//     back-edges, then one not-taken). Inside a run, gshare's short global
+//     history window is saturated all-taken and cannot tell where the run
+//     ends; TAGE's longer tagged histories always reach past the previous
+//     run boundary and learn the exit exactly.
+func init() {
+	register(Workload{
+		Name:      "strided",
+		Class:     Int,
+		Pathology: "constant-stride L2-missing streams; stride-prefetch best case",
+		Extra:     true,
+		Build:     buildStrided,
+	})
+	register(Workload{
+		Name:      "histdep",
+		Class:     Int,
+		Pathology: "alternating trip-count loop; needs long-history prediction",
+		Extra:     true,
+		Build:     buildHistdep,
+	})
+}
+
+// buildStrided: three independent read streams, each walking a 2 MB array
+// (4x the 512 KB L2) at its own constant stride, so steady state is one L1D
+// demand miss per new line and the per-PC reference prediction table sees a
+// perfectly regular (pc, stride) pair. Offsets wrap with a branch-free mask;
+// the strides divide the footprint, so the walk stays aligned forever.
+func buildStrided() *prog.Image {
+	b := prog.NewBuilder("strided")
+	const footprint = 1 << 21 // 2 MB per stream
+	baseA := b.Alloc(footprint, 64)
+	stagger(b, 1)
+	baseB := b.Alloc(footprint, 64)
+	stagger(b, 2)
+	baseC := b.Alloc(footprint, 64)
+
+	b.La(1, baseA)
+	b.La(2, baseB)
+	b.La(3, baseC)
+	b.Li(4, 0) // stream A offset, stride 64
+	b.Li(5, 0) // stream B offset, stride 64
+	b.Li(6, 0) // stream C offset, stride 128
+	b.Li(7, footprint-1)
+
+	f := beginForever(b, 28, "stream")
+	b.Add(10, 1, 4)
+	b.Ld(11, 0, 10)
+	b.Addi(4, 4, 64)
+	b.And(4, 4, 7)
+	b.Add(10, 2, 5)
+	b.Ld(12, 0, 10)
+	b.Addi(5, 5, 64)
+	b.And(5, 5, 7)
+	b.Add(10, 3, 6)
+	b.Ld(13, 0, 10)
+	b.Addi(6, 6, 128)
+	b.And(6, 6, 7)
+	// Consume the values so the loads stay on the critical path of r14.
+	b.Add(14, 11, 12)
+	b.Add(14, 14, 13)
+	f.end()
+	return b.MustBuild()
+}
+
+// buildHistdep: the outer forever loop alternates the inner loop's trip
+// count between 20 and 28; the inner back-edge is taken trip-1 times and
+// then falls through. Each inner iteration does one L1-resident load so the
+// workload exercises the memory path without adding branches. The only
+// hard-to-predict branch is the inner exit, and only for predictors whose
+// usable history is shorter than one full run.
+func buildHistdep() *prog.Image {
+	b := prog.NewBuilder("histdep")
+	const tableBytes = 4096 // L1-resident
+	base := b.Alloc(tableBytes, 64)
+
+	b.La(1, base)
+	b.Li(2, 0) // toggle: 0 -> trip 20, 1 -> trip 28
+	b.Li(3, tableBytes-1)
+
+	f := beginForever(b, 28, "outer")
+	// trip = 20 + (toggle << 3)
+	b.Slli(4, 2, 3)
+	b.Addi(4, 4, 20)
+	b.Xori(2, 2, 1)
+	b.Li(5, 0) // inner index
+	b.Label("inner")
+	// One cache-friendly load per iteration, offset walking the table.
+	b.Slli(6, 5, 3)
+	b.And(6, 6, 3)
+	b.Add(6, 6, 1)
+	b.Ld(7, 0, 6)
+	b.Add(8, 8, 7)
+	b.Addi(5, 5, 1)
+	b.Bne(5, 4, "inner")
+	f.end()
+	return b.MustBuild()
+}

@@ -43,6 +43,10 @@ type (
 	WorkloadSpec = workload.Workload
 	// Variant names a memory-subsystem + predictor combination.
 	Variant = harness.Variant
+	// Frontend names the frontend-realism options (branch predictor,
+	// L1D prefetcher, SFC/MDT pre-probe); its zero value is the golden
+	// default and Apply is then a no-op.
+	Frontend = harness.Frontend
 	// Table is a formatted experiment result.
 	Table = harness.Table
 	// Runner executes workloads across configurations in parallel.
